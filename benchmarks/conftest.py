@@ -1,0 +1,37 @@
+"""Shared fixtures and reporting helpers for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and, in addition to timing the computation
+with ``pytest-benchmark``, prints the reproduced rows next to the published
+values so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+experiment runner behind EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kibam.parameters import B1, B2
+from repro.workloads.profiles import paper_loads
+
+
+@pytest.fixture(scope="session")
+def loads():
+    """The ten test loads of the paper."""
+    return paper_loads()
+
+
+@pytest.fixture(scope="session")
+def b1():
+    return B1
+
+
+@pytest.fixture(scope="session")
+def b2():
+    return B2
+
+
+def emit(title: str, body: str) -> None:
+    """Print a reproduced table with a recognizable banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")

@@ -1,0 +1,57 @@
+"""Experiment E6 (ablation, Section 2.3 / 5): discretization granularity sweep.
+
+The paper fixes the dKiBaM discretization at T = 0.01 min and Gamma = 0.01
+Amin and reports that the error against the analytical KiBaM stays around
+1 %.  This ablation sweeps the granularity and reports the error, showing
+how the paper's choice trades accuracy against state-space size (the number
+of charge units N = C / Gamma drives the TA-KiBaM state count, Section 4.4).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.kibam.discrete import DiscreteKibam
+from repro.kibam.lifetime import lifetime_under_segments
+from repro.kibam.parameters import B1
+
+GRANULARITIES = (
+    # (time_step, charge_unit)
+    (0.05, 0.05),
+    (0.02, 0.02),
+    (0.01, 0.01),   # the paper's choice
+    (0.005, 0.005),
+)
+
+LOAD_NAMES = ("CL 500", "CL alt", "ILs alt", "IL` 500")
+
+
+@pytest.mark.benchmark(group="discretization")
+def test_discretization_ablation(benchmark, loads):
+    def sweep():
+        results = {}
+        for load_name in LOAD_NAMES:
+            segments = loads[load_name].segments()
+            analytical = lifetime_under_segments(B1, segments)
+            for time_step, charge_unit in GRANULARITIES:
+                model = DiscreteKibam(B1, time_step=time_step, charge_unit=charge_unit)
+                discrete = model.lifetime_under_segments(segments)
+                error = (discrete - analytical) / analytical * 100.0
+                results[(load_name, time_step)] = (analytical, discrete, error, model.total_units)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [f"{'load':10s} {'T=Gamma':>8s} {'N':>6s} {'KiBaM':>8s} {'dKiBaM':>8s} {'error %':>8s}"]
+    for (load_name, time_step), (analytical, discrete, error, units) in results.items():
+        lines.append(
+            f"{load_name:10s} {time_step:8.3f} {units:6d} {analytical:8.2f} {discrete:8.2f} {error:8.2f}"
+        )
+    emit("Ablation -- dKiBaM granularity vs accuracy (battery B1)", "\n".join(lines))
+
+    for load_name in LOAD_NAMES:
+        # The paper's granularity keeps the error around one percent.
+        assert abs(results[(load_name, 0.01)][2]) < 1.5
+        # Refining the discretization does not make the error worse.
+        coarse_error = abs(results[(load_name, 0.05)][2])
+        fine_error = abs(results[(load_name, 0.005)][2])
+        assert fine_error <= coarse_error + 0.25

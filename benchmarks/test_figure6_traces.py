@@ -1,0 +1,53 @@
+"""Experiment E4 (Figure 6): charge evolution under best-of-two vs optimal.
+
+Regenerates the data series of Figure 6 for the ILs alt load on two B1
+batteries: per-battery total and available charge over time plus the
+chosen-battery step function, for the best-of-two and the optimal schedule.
+The assertions check the features visible in the paper's figure: the
+recovery effect (available charge rising during idle phases), the longer
+lifetime of the optimal schedule, and the large residual charge (~70 % of
+the combined capacity) left when the system dies.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure6, residual_charge_summary
+from repro.analysis.report import render_figure6_summary, render_schedule_ascii
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_traces(benchmark):
+    data = benchmark.pedantic(lambda: figure6(sample_interval=0.05), rounds=1, iterations=1)
+
+    emit(
+        "Figure 6 -- ILs alt, two B1 batteries: best-of-two (a) vs optimal (b)",
+        "\n\n".join(
+            [
+                render_figure6_summary(data),
+                render_schedule_ascii(data.best_of_two),
+                render_schedule_ascii(data.optimal),
+            ]
+        ),
+    )
+
+    # Paper values: best-of-two 16.30 min, optimal 16.91 min.
+    assert data.best_of_two.lifetime == pytest.approx(16.30, rel=0.03)
+    assert data.optimal.lifetime == pytest.approx(16.91, rel=0.03)
+    assert data.optimal.lifetime >= data.best_of_two.lifetime
+
+    # Roughly 70 % of the combined 11 Amin is still bound at system death
+    # (the paper quotes ~3.9 Amin per battery).
+    summary = residual_charge_summary(data.best_of_two)
+    assert 0.55 < summary["residual_fraction"] < 0.8
+
+    # The recovery effect must be visible: available charge rises during
+    # idle periods on both panels.
+    for trace in (data.best_of_two, data.optimal):
+        rises = sum(
+            1
+            for series in trace.available_charge
+            for a, b in zip(series, series[1:])
+            if b > a + 1e-9
+        )
+        assert rises > 0

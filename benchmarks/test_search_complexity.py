@@ -1,0 +1,106 @@
+"""Experiment E7 (ablation, Section 4.4): cost of finding the optimal schedule.
+
+Section 4.4 observes that the complexity of the optimal-schedule search is
+exponential in the number of scheduling decisions, with the number of
+batteries as the base.  This harness measures, on a family of alternating
+loads of growing length:
+
+* the number of decision nodes expanded by the branch-and-bound search with
+  its prunings enabled (the library's replacement for Cora), and
+* the effect of switching off dominance pruning,
+
+and, separately, the explicit state count of the faithful TA-KiBaM
+minimum-cost query on a small instance -- the route that mirrors the
+paper's tooling most closely.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.optimal import find_optimal_schedule
+from repro.kibam.parameters import BatteryParameters
+from repro.takibam.builder import build_takibam
+from repro.takibam.runner import takibam_optimal_schedule
+from repro.workloads.load import Epoch, Load
+
+#: Small battery for the explicit-state TA-KiBaM query, which is the most
+#: expensive route (Section 4.4): its state space grows with the number of
+#: charge units, so the coarse query uses a 1 Amin cell.
+TA_SMALL = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122, name="ta-small")
+
+
+def alternating_load(cycles: int) -> Load:
+    epochs = []
+    for index in range(cycles):
+        current = 0.5 if index % 2 == 0 else 0.25
+        epochs.append(Epoch(current=current, duration=1.0))
+        epochs.append(Epoch(current=0.0, duration=1.0))
+    return Load(name=f"alt-{cycles}", epochs=tuple(epochs))
+
+
+@pytest.mark.benchmark(group="search-complexity")
+def test_branch_and_bound_complexity(benchmark, loads, b1):
+    """Search effort on the paper's own loads under three pruning settings.
+
+    The number of scheduling decisions grows with the lifetime (Section 4.4
+    observes the exponential dependence), so the three Table 5 loads used
+    here span short (CL alt), medium (ILs alt) and long (CL 250) searches.
+    """
+    load_names = ("CL alt", "ILs alt", "IL` 500", "CL 250")
+
+    def sweep():
+        results = {}
+        for name in load_names:
+            load = loads[name]
+            exact = find_optimal_schedule([b1, b1], load)
+            merged = find_optimal_schedule([b1, b1], load, dominance_tolerance=0.005)
+            no_dominance = find_optimal_schedule([b1, b1], load, use_dominance=False)
+            results[name] = (exact, merged, no_dominance)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'load':10s} {'lifetime':>9s} {'nodes exact':>12s} {'nodes merged':>13s} {'nodes no-dominance':>19s}"
+    ]
+    for name, (exact, merged, no_dominance) in results.items():
+        lines.append(
+            f"{name:10s} {exact.lifetime:9.2f} {exact.nodes_expanded:12d} "
+            f"{merged.nodes_expanded:13d} {no_dominance.nodes_expanded:19d}"
+        )
+    emit(
+        "Ablation -- optimal-search cost on Table 5 loads (2 x B1, three pruning settings)",
+        "\n".join(lines),
+    )
+
+    for name, (exact, merged, no_dominance) in results.items():
+        # Pruning never changes the result materially, only the work.
+        assert merged.lifetime == pytest.approx(exact.lifetime, rel=0.005)
+        assert no_dominance.lifetime == pytest.approx(exact.lifetime, abs=1e-6)
+        assert exact.nodes_expanded <= no_dominance.nodes_expanded
+        assert merged.nodes_expanded <= exact.nodes_expanded
+
+
+@pytest.mark.benchmark(group="search-complexity")
+def test_takibam_state_space(benchmark):
+    load = alternating_load(8)
+
+    def run():
+        model = build_takibam([TA_SMALL, TA_SMALL], load, time_step=0.1, charge_unit=0.1)
+        return takibam_optimal_schedule(model)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    fast = find_optimal_schedule(
+        [TA_SMALL, TA_SMALL], load, backend="discrete", time_step=0.1, charge_unit=0.1
+    )
+
+    emit(
+        "Ablation -- faithful TA-KiBaM optimal query (coarse discretization)",
+        f"lifetime {result.lifetime:.2f} min, explicit states {result.states_explored}, "
+        f"branch-and-bound (same discretization): {fast.lifetime:.2f} min, "
+        f"{fast.nodes_expanded} decision nodes",
+    )
+
+    # The two routes to the optimum agree on the same discretized model up to
+    # the coarse time step.
+    assert result.lifetime == pytest.approx(fast.lifetime, abs=0.2 + 1e-9)

@@ -1,0 +1,28 @@
+"""Experiment E1 (Table 3): single-battery validation for battery B1.
+
+Regenerates the analytical-KiBaM and dKiBaM lifetimes of battery B1 (5.5
+Amin) for all ten test loads and compares them with the published values.
+The paper reports relative differences of at most about 1 %.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_validation_table
+from repro.analysis.tables import PAPER_TABLE3, table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_validation_b1(benchmark, loads):
+    rows = benchmark.pedantic(lambda: table3(loads=loads), rounds=1, iterations=1)
+
+    emit("Table 3 -- battery B1: analytical KiBaM vs dKiBaM (paper values right)",
+         render_validation_table(rows, "load / lifetime (min)"))
+
+    for row in rows:
+        reference = PAPER_TABLE3.get(row.load_name)
+        # The relative error band of the paper holds for every load.
+        assert abs(row.difference_percent) < 1.5
+        if reference is not None:
+            assert row.analytical_lifetime == pytest.approx(reference[0], abs=0.02)
+            assert row.discrete_lifetime == pytest.approx(reference[1], abs=0.06)

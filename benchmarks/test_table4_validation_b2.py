@@ -1,0 +1,28 @@
+"""Experiment E2 (Table 4): single-battery validation for battery B2.
+
+Same as Table 3 but for the 11 Amin battery; the doubled capacity means the
+recovery effect has more room to act, and the CL 250 / CL alt rows show the
+discretization effect the paper discusses (the height difference saturates
+at the point where discharge and recovery rates balance).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_validation_table
+from repro.analysis.tables import PAPER_TABLE4, table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_validation_b2(benchmark, loads):
+    rows = benchmark.pedantic(lambda: table4(loads=loads), rounds=1, iterations=1)
+
+    emit("Table 4 -- battery B2: analytical KiBaM vs dKiBaM (paper values right)",
+         render_validation_table(rows, "load / lifetime (min)"))
+
+    for row in rows:
+        reference = PAPER_TABLE4.get(row.load_name)
+        assert abs(row.difference_percent) < 1.5
+        if reference is not None:
+            assert row.analytical_lifetime == pytest.approx(reference[0], abs=0.03)
+            assert row.discrete_lifetime == pytest.approx(reference[1], abs=0.06)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 6: charge evolution under the best-of-two and optimal
+schedules for the ILs alt load.
+
+The script prints an ASCII rendering of both schedules and (optionally)
+writes the full charge series as CSV files that can be plotted with any
+external tool to obtain the same curves as the paper's figure.
+
+Usage::
+
+    python examples/figure6_traces.py
+    python examples/figure6_traces.py --csv-dir ./figure6_csv
+"""
+
+import argparse
+import pathlib
+
+from repro.analysis.figures import figure6
+from repro.analysis.report import (
+    render_charge_series_csv,
+    render_figure6_summary,
+    render_schedule_ascii,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--csv-dir",
+        type=pathlib.Path,
+        default=None,
+        help="directory to write figure6_best_of_two.csv / figure6_optimal.csv to",
+    )
+    parser.add_argument(
+        "--sample-interval",
+        type=float,
+        default=0.05,
+        help="sampling interval of the charge curves in minutes",
+    )
+    args = parser.parse_args()
+
+    data = figure6(sample_interval=args.sample_interval)
+    print(render_figure6_summary(data))
+    print()
+    print(render_schedule_ascii(data.best_of_two))
+    print()
+    print(render_schedule_ascii(data.optimal))
+
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        for label, trace in (("best_of_two", data.best_of_two), ("optimal", data.optimal)):
+            path = args.csv_dir / f"figure6_{label}.csv"
+            path.write_text(render_charge_series_csv(trace))
+            print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Tables 3, 4 and 5 and print them next to the
+published values.
+
+This is the example to run for a full side-by-side comparison with the
+paper; it takes a few minutes because the optimal schedules for the long
+ILs 250 / IL` 250 loads are searched exhaustively (up to the documented
+state-merge tolerance).
+
+Usage::
+
+    python examples/reproduce_tables.py            # everything
+    python examples/reproduce_tables.py --fast     # skip the two slowest loads
+"""
+
+import argparse
+
+from repro.analysis.report import render_scheduling_table, render_validation_table
+from repro.analysis.tables import table3, table4, table5
+from repro.workloads.profiles import paper_loads
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="skip the slowest loads (ILs 250 and IL` 250) in Table 5",
+    )
+    args = parser.parse_args()
+
+    print(render_validation_table(table3(), "Table 3 -- battery B1, KiBaM vs dKiBaM"))
+    print()
+    print(render_validation_table(table4(), "Table 4 -- battery B2, KiBaM vs dKiBaM"))
+    print()
+
+    loads = paper_loads()
+    if args.fast:
+        loads = {name: load for name, load in loads.items() if name not in ("ILs 250", "IL` 250")}
+    rows = table5(loads=loads)
+    print(render_scheduling_table(rows, "Table 5 -- two B1 batteries, four schedulers"))
+
+
+if __name__ == "__main__":
+    main()

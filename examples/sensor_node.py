@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Battery scheduling for a wireless sensor node.
+
+The paper's outlook names sensor-network nodes -- simple, regular workloads
+on small batteries -- as a natural application of battery-aware scheduling.
+This example models a node that periodically senses, transmits and sleeps,
+powered by two small cells, and shows:
+
+* how much of the node's mission length is lost to naive (sequential)
+  battery usage,
+* how much a smart battery switch (best-of-two) recovers, and
+* how close that is to the optimal schedule.
+
+Usage::
+
+    python examples/sensor_node.py
+    python examples/sensor_node.py --transmit-current 0.45 --sleep 2.0
+"""
+
+import argparse
+
+from repro import BatteryParameters, find_optimal_schedule, simulate_policy
+from repro.workloads.generator import sensor_node_load
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--capacity", type=float, default=1.0, help="cell capacity in Amin")
+    parser.add_argument("--transmit-current", type=float, default=0.300, help="radio current in A")
+    parser.add_argument("--sense-current", type=float, default=0.020, help="sensing current in A")
+    parser.add_argument("--sleep", type=float, default=4.0, help="sleep time per cycle in minutes")
+    parser.add_argument("--cycles", type=int, default=400, help="measurement cycles in the mission")
+    args = parser.parse_args()
+
+    cell = BatteryParameters(capacity=args.capacity, c=0.166, k_prime=0.122, name="sensor-cell")
+    load = sensor_node_load(
+        sense_current=args.sense_current,
+        transmit_current=args.transmit_current,
+        sleep_duration=args.sleep,
+        cycles=args.cycles,
+    )
+    print(f"Sensor node mission: {load.job_count} jobs over {load.total_duration:.0f} min, "
+          f"two cells of {cell.capacity} Amin each\n")
+
+    results = {}
+    for policy in ("sequential", "round-robin", "best-of-two"):
+        result = simulate_policy([cell, cell], load, policy)
+        results[policy] = result
+        if result.survived:
+            print(f"  {policy:12s} survives the whole mission")
+        else:
+            cycles_completed = result.lifetime_or_raise() / (load.total_duration / args.cycles)
+            print(f"  {policy:12s} dies after {result.lifetime:7.1f} min "
+                  f"(~{cycles_completed:.0f} measurement cycles)")
+
+    reference = results["sequential"]
+    if not reference.survived:
+        # The node-count cap keeps the example snappy on very long missions;
+        # when it triggers the reported schedule is a lower bound on the true
+        # optimum (the `complete` flag says which case applies).
+        optimal = find_optimal_schedule(
+            [cell, cell], load, dominance_tolerance=0.005, max_nodes=30_000
+        )
+        gain = (optimal.lifetime - reference.lifetime) / reference.lifetime * 100.0
+        label = "optimal" if optimal.complete else "best found"
+        print(f"  {label:12s} dies after {optimal.lifetime:7.1f} min "
+              f"(+{gain:.1f}% vs sequential, {optimal.nodes_expanded} nodes explored)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` works on environments without the
+``wheel`` package (PEP 660 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""Plain-text rendering of the reproduced tables and figures.
+
+The benchmark harnesses and examples use these helpers to print the same
+rows the paper reports, side by side with the published values where they
+exist.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.analysis.figures import ChargeTrace, Figure6Data, residual_charge_summary
+from repro.analysis.tables import SchedulingRow, ValidationRow
+
+
+def _format_optional(value, fmt: str = "{:.2f}", missing: str = "   -") -> str:
+    return fmt.format(value) if value is not None else missing
+
+
+def render_validation_table(rows: Iterable[ValidationRow], title: str) -> str:
+    """Render a Table 3 / Table 4 style comparison as text."""
+    lines: List[str] = [title]
+    header = (
+        f"{'load':10s} {'KiBaM':>8s} {'dKiBaM':>8s} {'diff %':>7s} "
+        f"{'paper KiBaM':>12s} {'paper TA':>9s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            f"{row.load_name:10s} {row.analytical_lifetime:8.2f} {row.discrete_lifetime:8.2f} "
+            f"{row.difference_percent:7.2f} "
+            f"{_format_optional(row.paper_analytical, '{:>12.2f}', '           -')} "
+            f"{_format_optional(row.paper_discrete, '{:>9.2f}', '        -')}"
+        )
+    return "\n".join(lines)
+
+
+def render_scheduling_table(rows: Iterable[SchedulingRow], title: str) -> str:
+    """Render a Table 5 style scheduling comparison as text."""
+    lines: List[str] = [title]
+    header = (
+        f"{'load':10s} {'seq':>7s} {'diff%':>7s} {'RR':>7s} {'best':>7s} {'diff%':>7s} "
+        f"{'opt':>7s} {'diff%':>7s}  {'paper (seq/RR/best/opt)':>26s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        paper = (
+            "/".join(f"{value:.2f}" for value in row.paper_values)
+            if row.paper_values
+            else "-"
+        )
+        lines.append(
+            f"{row.load_name:10s} {row.sequential:7.2f} {row.sequential_diff_percent:7.1f} "
+            f"{row.round_robin:7.2f} {row.best_of_two:7.2f} {row.best_of_two_diff_percent:7.1f} "
+            f"{row.optimal:7.2f} {row.optimal_diff_percent:7.1f}  {paper:>26s}"
+        )
+    return "\n".join(lines)
+
+
+def render_figure6_summary(data: Figure6Data) -> str:
+    """Summarize the Figure 6 traces as text (lifetimes and residual charge)."""
+    lines = [f"Figure 6 -- load {data.load_name}"]
+    for label, trace in (("best-of-two", data.best_of_two), ("optimal", data.optimal)):
+        summary = residual_charge_summary(trace)
+        lines.append(
+            f"  {label:12s} lifetime={summary['lifetime']:.2f} min, "
+            f"residual charge={summary['residual_charge_amin']:.2f} Amin "
+            f"({summary['residual_fraction'] * 100.0:.0f}% of capacity)"
+        )
+    return "\n".join(lines)
+
+
+def render_schedule_ascii(trace: ChargeTrace, width: int = 72) -> str:
+    """A small ASCII rendering of which battery serves over time."""
+    if not trace.times:
+        return "(empty trace)"
+    lines = [f"schedule ({trace.policy_name}), lifetime {trace.lifetime:.2f} min"]
+    horizon = trace.times[-1]
+    for battery in range(trace.n_batteries):
+        cells = []
+        for column in range(width):
+            time = horizon * column / max(1, width - 1)
+            index = min(
+                range(len(trace.times)), key=lambda i: abs(trace.times[i] - time)
+            )
+            cells.append("#" if trace.chosen_battery[index] == battery else ".")
+        lines.append(f"  battery {battery}: {''.join(cells)}")
+    return "\n".join(lines)
+
+
+def render_charge_series_csv(trace: ChargeTrace) -> str:
+    """Dump a trace as CSV (time, per-battery total and available charge)."""
+    header_cells = ["time_min"]
+    for battery in range(trace.n_batteries):
+        header_cells.append(f"total_{battery}")
+        header_cells.append(f"available_{battery}")
+    header_cells.append("chosen_battery")
+    lines = [",".join(header_cells)]
+    for index, time in enumerate(trace.times):
+        cells = [f"{time:.4f}"]
+        for battery in range(trace.n_batteries):
+            cells.append(f"{trace.total_charge[battery][index]:.5f}")
+            cells.append(f"{trace.available_charge[battery][index]:.5f}")
+        chosen = trace.chosen_battery[index]
+        cells.append("" if chosen is None else str(chosen))
+        lines.append(",".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""The paper's contribution: multi-battery scheduling for lifetime maximization.
+
+This subpackage contains the scheduling layer built on top of the battery
+models of :mod:`repro.kibam`:
+
+* :mod:`repro.core.battery` -- a uniform stepping interface over the
+  analytical and the discretized KiBaM (and the other battery models).
+* :mod:`repro.core.policies` -- the deterministic scheduling schemes of
+  Section 6 (sequential, round robin, best-of-two) plus a replay policy.
+* :mod:`repro.core.simulator` -- the multi-battery discharge simulator with
+  mid-job switchover when the serving battery is observed empty.
+* :mod:`repro.core.optimal` -- the optimal scheduler: a branch-and-bound
+  search over scheduling decisions that replaces the Uppaal Cora
+  minimum-cost reachability analysis of the paper.
+* :mod:`repro.core.schedule` -- schedules and simulation results.
+"""
+
+from repro.core.battery import (
+    BatteryModel,
+    AnalyticalBattery,
+    DiscreteBattery,
+    LinearBatteryModel,
+    BatteryView,
+    StepOutcome,
+)
+from repro.core.schedule import ScheduleEntry, Schedule, SimulationResult
+from repro.core.policies import (
+    SchedulingPolicy,
+    DecisionContext,
+    SequentialPolicy,
+    RoundRobinPolicy,
+    BestOfTwoPolicy,
+    WorstOfTwoPolicy,
+    RandomPolicy,
+    FixedAssignmentPolicy,
+    POLICY_REGISTRY,
+    make_policy,
+)
+from repro.core.simulator import MultiBatterySimulator, simulate_policy
+from repro.core.optimal import OptimalScheduleResult, OptimalScheduler, find_optimal_schedule
+from repro.core.job_scheduling import (
+    Job,
+    JobTimeline,
+    JobScheduler,
+    JobSchedulingResult,
+    ScheduledJob,
+    schedule_jobs,
+    eager_timeline,
+    spread_timeline,
+)
+
+__all__ = [
+    "BatteryModel",
+    "AnalyticalBattery",
+    "DiscreteBattery",
+    "LinearBatteryModel",
+    "BatteryView",
+    "StepOutcome",
+    "ScheduleEntry",
+    "Schedule",
+    "SimulationResult",
+    "SchedulingPolicy",
+    "DecisionContext",
+    "SequentialPolicy",
+    "RoundRobinPolicy",
+    "BestOfTwoPolicy",
+    "WorstOfTwoPolicy",
+    "RandomPolicy",
+    "FixedAssignmentPolicy",
+    "POLICY_REGISTRY",
+    "make_policy",
+    "MultiBatterySimulator",
+    "simulate_policy",
+    "OptimalScheduleResult",
+    "OptimalScheduler",
+    "find_optimal_schedule",
+    "Job",
+    "JobTimeline",
+    "JobScheduler",
+    "JobSchedulingResult",
+    "ScheduledJob",
+    "schedule_jobs",
+    "eager_timeline",
+    "spread_timeline",
+]

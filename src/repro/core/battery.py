@@ -1,0 +1,293 @@
+"""Uniform battery-stepping interface for the scheduling layer.
+
+The simulator and the optimal scheduler need to advance a battery by a
+constant-current span and to detect the instant the battery is observed
+empty, but they should not care whether the underlying model is the
+analytical KiBaM, the dKiBaM or something else.  This module defines that
+interface (:class:`BatteryModel`) and the adapters for the models in
+:mod:`repro.kibam`.
+
+Once a battery has been observed empty it stays unusable, even though the
+KiBaM recovery effect would make a little charge available again -- this is
+the assumption of Section 4.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.kibam.analytical import (
+    KibamState,
+    available_charge as kibam_available_charge,
+    initial_state as kibam_initial_state,
+    is_empty as kibam_is_empty,
+    step_constant_current,
+)
+from repro.kibam.discrete import DiscreteBatteryState, DiscreteKibam
+from repro.kibam.lifetime import time_to_empty
+from repro.kibam.parameters import BatteryParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class StepOutcome:
+    """Result of stepping one battery over (part of) a constant-current span.
+
+    Attributes:
+        state: battery state at the end of the step.
+        emptied_after: if the battery was observed empty during the span,
+            the time (minutes) into the span at which this happened;
+            ``None`` when the battery survived the whole span.
+    """
+
+    state: Any
+    emptied_after: Optional[float] = None
+
+    @property
+    def emptied(self) -> bool:
+        return self.emptied_after is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class BatteryView:
+    """Read-only battery summary exposed to scheduling policies."""
+
+    index: int
+    available_charge: float
+    total_charge: float
+    is_empty: bool
+
+
+class BatteryModel(abc.ABC):
+    """Stepping interface for a single battery."""
+
+    #: Human readable backend name ("analytical", "discrete", ...).
+    backend: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_state(self) -> Any:
+        """State of a fully charged battery."""
+
+    @abc.abstractmethod
+    def step(self, state: Any, current: float, duration: float) -> StepOutcome:
+        """Advance ``state`` by ``duration`` minutes at constant ``current``.
+
+        If the battery is observed empty during the span, the returned
+        outcome carries the offset at which that happened and the state at
+        that instant; the battery must not be stepped further with a
+        positive current afterwards.
+        """
+
+    @abc.abstractmethod
+    def is_empty(self, state: Any) -> bool:
+        """Whether the empty criterion holds for ``state``."""
+
+    @abc.abstractmethod
+    def available_charge(self, state: Any) -> float:
+        """Charge in the available-charge well (Amin)."""
+
+    @abc.abstractmethod
+    def total_charge(self, state: Any) -> float:
+        """Total charge left in the battery (Amin)."""
+
+    @abc.abstractmethod
+    def dominance_vector(self, state: Any) -> Tuple[float, ...]:
+        """A tuple in which componentwise-larger means a strictly better state.
+
+        Used by the optimal scheduler for dominance pruning: if every
+        component of ``dominance_vector(a)`` is at least the corresponding
+        component of ``dominance_vector(b)``, then any schedule achievable
+        from ``b`` is achievable (or bettered) from ``a``.
+        """
+
+    def kibam_summary(self, state: Any) -> Optional[Tuple[float, float]]:
+        """The transformed KiBaM coordinates ``(gamma, delta)`` of a state.
+
+        Returns ``None`` for models that are not KiBaM-shaped.  The optimal
+        scheduler uses this for its perfect-pooling bound: the sum of the
+        per-battery ``(gamma, delta)`` states evolves exactly like a single
+        KiBaM battery, whose lifetime upper-bounds every schedule.
+        """
+        return None
+
+    def kibam_parameters(self) -> Optional[BatteryParameters]:
+        """The KiBaM parameters of this battery, if it is KiBaM-shaped."""
+        return None
+
+    def view(self, index: int, state: Any) -> BatteryView:
+        """Build the policy-facing view of a battery state."""
+        return BatteryView(
+            index=index,
+            available_charge=self.available_charge(state),
+            total_charge=self.total_charge(state),
+            is_empty=self.is_empty(state),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class _MarkedState:
+    """Wrapper adding a sticky ``empty`` observation flag to a model state."""
+
+    inner: Any
+    empty: bool = False
+
+
+class AnalyticalBattery(BatteryModel):
+    """Adapter for the analytical (continuous) KiBaM."""
+
+    backend = "analytical"
+
+    def __init__(self, params: BatteryParameters) -> None:
+        self.params = params
+
+    def initial_state(self) -> _MarkedState:
+        return _MarkedState(inner=kibam_initial_state(self.params))
+
+    def step(self, state: _MarkedState, current: float, duration: float) -> StepOutcome:
+        if state.empty:
+            if current > 0.0:
+                raise ValueError("cannot draw current from a battery observed empty")
+            return StepOutcome(state=state)
+        inner: KibamState = state.inner
+        crossing = time_to_empty(self.params, inner, current, horizon=duration)
+        if crossing is None:
+            new_inner = step_constant_current(self.params, inner, current, duration)
+            return StepOutcome(state=_MarkedState(inner=new_inner))
+        new_inner = step_constant_current(self.params, inner, current, crossing)
+        return StepOutcome(
+            state=_MarkedState(inner=new_inner, empty=True),
+            emptied_after=crossing,
+        )
+
+    def is_empty(self, state: _MarkedState) -> bool:
+        return state.empty or kibam_is_empty(self.params, state.inner, tolerance=1e-12)
+
+    def available_charge(self, state: _MarkedState) -> float:
+        return max(0.0, kibam_available_charge(self.params, state.inner))
+
+    def total_charge(self, state: _MarkedState) -> float:
+        return max(0.0, state.inner.gamma)
+
+    def dominance_vector(self, state: _MarkedState) -> Tuple[float, ...]:
+        if state.empty:
+            # Any empty battery is as bad as any other and worse than every
+            # usable one: collapse to a canonical minimum.
+            return (0.0, float("-inf"), float("-inf"))
+        return (1.0, state.inner.gamma, -state.inner.delta)
+
+    def kibam_summary(self, state: _MarkedState) -> Optional[Tuple[float, float]]:
+        return (state.inner.gamma, state.inner.delta)
+
+    def kibam_parameters(self) -> Optional[BatteryParameters]:
+        return self.params
+
+
+class DiscreteBattery(BatteryModel):
+    """Adapter for the discretized KiBaM (dKiBaM)."""
+
+    backend = "discrete"
+
+    def __init__(
+        self,
+        params: BatteryParameters,
+        time_step: float = 0.01,
+        charge_unit: float = 0.01,
+    ) -> None:
+        self.params = params
+        self.kibam = DiscreteKibam(params, time_step=time_step, charge_unit=charge_unit)
+
+    def initial_state(self) -> DiscreteBatteryState:
+        return self.kibam.initial_state()
+
+    def step(self, state: DiscreteBatteryState, current: float, duration: float) -> StepOutcome:
+        if state.empty:
+            if current > 0.0:
+                raise ValueError("cannot draw current from a battery observed empty")
+            return StepOutcome(state=state)
+        new_state, empty_tick = self.kibam.run_segment(state, current, duration)
+        if empty_tick is None:
+            return StepOutcome(state=new_state)
+        return StepOutcome(state=new_state, emptied_after=empty_tick * self.kibam.time_step)
+
+    def is_empty(self, state: DiscreteBatteryState) -> bool:
+        return state.empty or self.kibam.is_empty(state)
+
+    def available_charge(self, state: DiscreteBatteryState) -> float:
+        return max(0.0, self.kibam.available_charge(state))
+
+    def total_charge(self, state: DiscreteBatteryState) -> float:
+        return state.n * self.kibam.charge_unit
+
+    def dominance_vector(self, state: DiscreteBatteryState) -> Tuple[float, ...]:
+        if state.empty:
+            inf = float("-inf")
+            return (0.0, inf, inf, inf, inf)
+        return (
+            1.0,
+            float(state.n),
+            -float(state.m),
+            -float(state.disch_ticks),
+            float(state.recov_ticks),
+        )
+
+    def kibam_summary(self, state: DiscreteBatteryState) -> Optional[Tuple[float, float]]:
+        continuous = self.kibam.to_continuous(state)
+        return (continuous.gamma, continuous.delta)
+
+    def kibam_parameters(self) -> Optional[BatteryParameters]:
+        return self.params
+
+
+class LinearBatteryModel(BatteryModel):
+    """Adapter for the ideal linear battery (no rate-capacity, no recovery).
+
+    Under this model scheduling is irrelevant -- every schedule delivers the
+    same lifetime -- which makes it a useful control in experiments that
+    attribute the scheduling gains to the KiBaM non-linearities.
+    """
+
+    backend = "linear"
+
+    def __init__(self, params: BatteryParameters) -> None:
+        self.params = params
+
+    def initial_state(self) -> float:
+        return self.params.capacity
+
+    def step(self, state: float, current: float, duration: float) -> StepOutcome:
+        if current <= 0.0:
+            return StepOutcome(state=state)
+        drawn = current * duration
+        if drawn < state:
+            return StepOutcome(state=state - drawn)
+        emptied_after = state / current
+        return StepOutcome(state=0.0, emptied_after=emptied_after)
+
+    def is_empty(self, state: float) -> bool:
+        return state <= 0.0
+
+    def available_charge(self, state: float) -> float:
+        return max(0.0, state)
+
+    def total_charge(self, state: float) -> float:
+        return max(0.0, state)
+
+    def dominance_vector(self, state: float) -> Tuple[float, ...]:
+        return (state,)
+
+
+def make_battery_models(
+    params: Sequence[BatteryParameters],
+    backend: str = "analytical",
+    time_step: float = 0.01,
+    charge_unit: float = 0.01,
+) -> Tuple[BatteryModel, ...]:
+    """Build one battery model per parameter set for the given backend."""
+    if backend == "analytical":
+        return tuple(AnalyticalBattery(p) for p in params)
+    if backend == "discrete":
+        return tuple(DiscreteBattery(p, time_step=time_step, charge_unit=charge_unit) for p in params)
+    if backend == "linear":
+        return tuple(LinearBatteryModel(p) for p in params)
+    raise ValueError(f"unknown battery backend: {backend!r}")

@@ -1,0 +1,386 @@
+"""Scheduling jobs over time on a single battery (the paper's outlook).
+
+Section 7 of the paper sketches a second optimization problem: *given one
+battery and a set of jobs, when should the jobs be run so that the battery
+survives them?*  Sensor nodes with regular workloads are the motivating
+example.  This module implements that problem on top of the analytical
+KiBaM:
+
+* a :class:`Job` has a current, a duration, a release time and a deadline;
+* a :class:`JobTimeline` assigns a start time to every job (jobs never
+  overlap -- the device is single-threaded);
+* :func:`schedule_jobs` searches for a timeline that completes as many jobs
+  as possible (and, among timelines completing the same set, leaves the most
+  charge in the battery), using the same branch-and-bound machinery idea as
+  the multi-battery scheduler: decisions are job start times on a discrete
+  slot grid, states are pruned by dominance on the battery state.
+
+Two baseline strategies are provided for comparison: ``eager`` (run every
+job as early as possible, i.e. no battery awareness) and ``spread`` (space
+the jobs evenly over the available slack).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kibam.analytical import KibamState, initial_state, step_constant_current
+from repro.kibam.lifetime import time_to_empty
+from repro.kibam.parameters import BatteryParameters
+
+_TIME_EPSILON = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class Job:
+    """One schedulable job.
+
+    Attributes:
+        name: identifier used in timelines.
+        current: discharge current while the job runs, in Ampere.
+        duration: job length in minutes.
+        release: earliest start time in minutes.
+        deadline: latest allowed *completion* time in minutes (``None`` for
+            no deadline).
+    """
+
+    name: str
+    current: float
+    duration: float
+    release: float = 0.0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.current <= 0.0:
+            raise ValueError("a job must draw a positive current")
+        if self.duration <= 0.0:
+            raise ValueError("a job must have a positive duration")
+        if self.release < 0.0:
+            raise ValueError("release time must be non-negative")
+        if self.deadline is not None and self.deadline < self.release + self.duration:
+            raise ValueError(
+                f"job {self.name!r}: deadline {self.deadline} is before the earliest "
+                f"possible completion {self.release + self.duration}"
+            )
+
+    @property
+    def charge(self) -> float:
+        """Charge drawn by a complete run of the job, in Amin."""
+        return self.current * self.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledJob:
+    """A job placed on the timeline."""
+
+    job: Job
+    start: float
+
+    @property
+    def end(self) -> float:
+        return self.start + self.job.duration
+
+
+@dataclasses.dataclass(frozen=True)
+class JobTimeline:
+    """A complete single-battery schedule of jobs over time.
+
+    Attributes:
+        scheduled: the completed jobs with their start times, in time order.
+        dropped: jobs that could not be completed (battery empty or deadline
+            unreachable).
+        final_state: KiBaM state after the last scheduled job.
+        strategy: name of the strategy that produced the timeline.
+    """
+
+    scheduled: Tuple[ScheduledJob, ...]
+    dropped: Tuple[Job, ...]
+    final_state: KibamState
+    strategy: str
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.scheduled)
+
+    @property
+    def makespan(self) -> float:
+        return self.scheduled[-1].end if self.scheduled else 0.0
+
+    def segments(self) -> List[Tuple[float, float]]:
+        """The timeline as ``(current, duration)`` segments including gaps."""
+        segments: List[Tuple[float, float]] = []
+        cursor = 0.0
+        for item in self.scheduled:
+            if item.start > cursor + _TIME_EPSILON:
+                segments.append((0.0, item.start - cursor))
+            segments.append((item.job.current, item.job.duration))
+            cursor = item.end
+        return segments
+
+
+def _run_job(
+    params: BatteryParameters, state: KibamState, job: Job
+) -> Optional[KibamState]:
+    """State after running ``job`` to completion, or ``None`` if the battery dies."""
+    crossing = time_to_empty(params, state, job.current, horizon=job.duration)
+    if crossing is not None and crossing < job.duration - _TIME_EPSILON:
+        return None
+    return step_constant_current(params, state, job.current, job.duration)
+
+
+def eager_timeline(
+    params: BatteryParameters,
+    jobs: Sequence[Job],
+    horizon: Optional[float] = None,
+) -> JobTimeline:
+    """Run every job as early as possible, in release order (battery-oblivious)."""
+    ordered = sorted(jobs, key=lambda job: (job.release, job.name))
+    state = initial_state(params)
+    cursor = 0.0
+    scheduled: List[ScheduledJob] = []
+    dropped: List[Job] = []
+    for job in ordered:
+        start = max(cursor, job.release)
+        end = start + job.duration
+        if job.deadline is not None and end > job.deadline + _TIME_EPSILON:
+            dropped.append(job)
+            continue
+        if horizon is not None and end > horizon + _TIME_EPSILON:
+            dropped.append(job)
+            continue
+        rested = step_constant_current(params, state, 0.0, start - cursor)
+        after = _run_job(params, rested, job)
+        if after is None:
+            # The job is skipped entirely; the battery state and the cursor
+            # stay where they were (the rest above is discarded).
+            dropped.append(job)
+            continue
+        scheduled.append(ScheduledJob(job=job, start=start))
+        state = after
+        cursor = end
+    return JobTimeline(
+        scheduled=tuple(scheduled),
+        dropped=tuple(dropped),
+        final_state=state,
+        strategy="eager",
+    )
+
+
+def spread_timeline(
+    params: BatteryParameters,
+    jobs: Sequence[Job],
+    horizon: float,
+) -> JobTimeline:
+    """Space the jobs evenly over the horizon (a simple battery-friendly baseline)."""
+    if horizon <= 0.0:
+        raise ValueError("horizon must be positive")
+    ordered = sorted(jobs, key=lambda job: (job.release, job.name))
+    busy = sum(job.duration for job in ordered)
+    slack = max(0.0, horizon - busy)
+    gap = slack / (len(ordered) + 1) if ordered else 0.0
+    state = initial_state(params)
+    cursor = 0.0
+    scheduled: List[ScheduledJob] = []
+    dropped: List[Job] = []
+    for job in ordered:
+        start = max(cursor + gap, job.release)
+        end = start + job.duration
+        if job.deadline is not None and end > job.deadline + _TIME_EPSILON:
+            start = max(job.release, min(start, job.deadline - job.duration))
+            end = start + job.duration
+        if end > horizon + _TIME_EPSILON or start < cursor - _TIME_EPSILON:
+            dropped.append(job)
+            continue
+        rested = step_constant_current(params, state, 0.0, start - cursor)
+        after = _run_job(params, rested, job)
+        if after is None:
+            # Dropped job: keep the state and cursor untouched so the next
+            # placement sees exactly the recovery time that really elapses.
+            dropped.append(job)
+            continue
+        scheduled.append(ScheduledJob(job=job, start=start))
+        state = after
+        cursor = end
+    return JobTimeline(
+        scheduled=tuple(scheduled),
+        dropped=tuple(dropped),
+        final_state=state,
+        strategy="spread",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class JobSchedulingResult:
+    """Result of the optimizing search plus the baselines for comparison."""
+
+    best: JobTimeline
+    eager: JobTimeline
+    spread: JobTimeline
+    nodes_expanded: int
+    complete: bool
+
+
+class JobScheduler:
+    """Branch-and-bound search for a battery-aware single-battery job timeline.
+
+    Decisions place the next job (in a fixed order, earliest release first)
+    at one of a discrete set of start slots between its release time and the
+    latest start that still meets its deadline and the horizon.  The search
+    maximizes, in order, the number of completed jobs and the remaining total
+    charge.  Dominance pruning merges timelines that reach the same decision
+    with a pointwise-worse battery state and less time left.
+
+    Args:
+        params: battery parameters.
+        jobs: the jobs to place.
+        horizon: scheduling horizon in minutes (jobs must finish by then).
+        slot: granularity of candidate start times in minutes.
+        max_nodes: optional cap on the number of expanded decision nodes.
+    """
+
+    def __init__(
+        self,
+        params: BatteryParameters,
+        jobs: Sequence[Job],
+        horizon: float,
+        slot: float = 0.5,
+        max_nodes: Optional[int] = None,
+    ) -> None:
+        if horizon <= 0.0:
+            raise ValueError("horizon must be positive")
+        if slot <= 0.0:
+            raise ValueError("slot must be positive")
+        if not jobs:
+            raise ValueError("at least one job is required")
+        self.params = params
+        self.jobs = tuple(sorted(jobs, key=lambda job: (job.release, job.name)))
+        self.horizon = horizon
+        self.slot = slot
+        self.max_nodes = max_nodes
+        self._best_key: Tuple[int, float] = (-1, float("-inf"))
+        self._best_schedule: Tuple[ScheduledJob, ...] = ()
+        self._best_state = initial_state(params)
+        self._nodes = 0
+        self._complete = True
+        self._archive: dict = {}
+
+    # ------------------------------------------------------------------ #
+    def search(self) -> JobSchedulingResult:
+        """Run the search and return the best timeline plus the baselines."""
+        eager = eager_timeline(self.params, self.jobs, horizon=self.horizon)
+        spread = spread_timeline(self.params, self.jobs, self.horizon)
+        for baseline in (eager, spread):
+            key = (baseline.completed_count, baseline.final_state.gamma)
+            if key > self._best_key:
+                self._best_key = key
+                self._best_schedule = baseline.scheduled
+                self._best_state = baseline.final_state
+        self._explore(0, 0.0, initial_state(self.params), ())
+
+        completed = {item.job.name for item in self._best_schedule}
+        dropped = tuple(job for job in self.jobs if job.name not in completed)
+        best = JobTimeline(
+            scheduled=self._best_schedule,
+            dropped=dropped,
+            final_state=self._best_state,
+            strategy="optimized",
+        )
+        return JobSchedulingResult(
+            best=best,
+            eager=eager,
+            spread=spread,
+            nodes_expanded=self._nodes,
+            complete=self._complete,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _candidate_starts(self, job: Job, cursor: float) -> List[float]:
+        earliest = max(cursor, job.release)
+        latest = self.horizon - job.duration
+        if job.deadline is not None:
+            latest = min(latest, job.deadline - job.duration)
+        if latest < earliest - _TIME_EPSILON:
+            return []
+        starts = [earliest]
+        slots = int((latest - earliest) / self.slot + _TIME_EPSILON)
+        starts.extend(earliest + self.slot * k for k in range(1, slots + 1))
+        if starts[-1] < latest - _TIME_EPSILON:
+            starts.append(latest)
+        return starts
+
+    def _record(self, schedule: Tuple[ScheduledJob, ...], state: KibamState) -> None:
+        key = (len(schedule), state.gamma)
+        if key > self._best_key:
+            self._best_key = key
+            self._best_schedule = schedule
+            self._best_state = state
+
+    def _explore(
+        self,
+        index: int,
+        cursor: float,
+        state: KibamState,
+        schedule: Tuple[ScheduledJob, ...],
+    ) -> None:
+        self._record(schedule, state)
+        if index >= len(self.jobs):
+            return
+        remaining = len(self.jobs) - index
+        # Bound: even if every remaining job completes we cannot beat the
+        # incumbent when the completed-count ceiling is below it.
+        if (len(schedule) + remaining, float("inf")) < self._best_key:
+            return
+        if self.max_nodes is not None and self._nodes >= self.max_nodes:
+            self._complete = False
+            return
+        self._nodes += 1
+
+        # Dominance: at the same job index, a state with an earlier cursor,
+        # more total charge and a smaller height difference can only do better.
+        archive = self._archive.setdefault(index, [])
+        signature = (round(cursor, 6), round(state.gamma, 6), round(state.delta, 6))
+        for other_cursor, other_gamma, other_delta in archive:
+            if (
+                other_cursor <= signature[0] + 1e-9
+                and other_gamma >= signature[1] - 1e-9
+                and other_delta <= signature[2] + 1e-9
+            ):
+                return
+        if len(archive) < 2048:
+            archive.append(signature)
+
+        job = self.jobs[index]
+        starts = self._candidate_starts(job, cursor)
+        # Try late starts first: more idle time before a job lets the battery
+        # recover, which is usually the better branch and tightens the bound.
+        for start in reversed(starts):
+            idle = start - cursor
+            rested = step_constant_current(self.params, state, 0.0, idle)
+            after = _run_job(self.params, rested, job)
+            if after is None:
+                continue
+            self._explore(
+                index + 1,
+                start + job.duration,
+                after,
+                schedule + (ScheduledJob(job=job, start=start),),
+            )
+        # Branch where the job is skipped (dropped) entirely.
+        self._explore(index + 1, cursor, state, schedule)
+
+
+def schedule_jobs(
+    params: BatteryParameters,
+    jobs: Sequence[Job],
+    horizon: float,
+    slot: float = 0.5,
+    max_nodes: Optional[int] = None,
+) -> JobSchedulingResult:
+    """Find a battery-aware timeline for ``jobs`` on a single battery.
+
+    Convenience wrapper around :class:`JobScheduler`; see the class docstring
+    for the search semantics.
+    """
+    return JobScheduler(params, jobs, horizon, slot=slot, max_nodes=max_nodes).search()

@@ -1,0 +1,226 @@
+"""Deterministic battery scheduling policies (Section 6 of the paper).
+
+A policy is consulted at every *scheduling point*: the start of each job
+and the instant a serving battery is observed empty mid-job (switchover).
+The paper compares three deterministic schemes against the optimal
+schedule:
+
+* **sequential** -- use the batteries one after the other; the second one is
+  only touched when the first is empty,
+* **round robin** -- pick the next battery in a fixed cyclic order at every
+  new job,
+* **best-of-two** (best available) -- pick the non-empty battery with the
+  most charge in its available-charge well.
+
+This module also provides a few extra policies used by the examples and the
+extension experiments: a worst-of-two adversarial baseline, a seeded random
+policy and a fixed-assignment policy for replaying precomputed (optimal)
+schedules.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.battery import BatteryView
+
+
+@dataclasses.dataclass(frozen=True)
+class DecisionContext:
+    """Everything a policy may look at when choosing a battery.
+
+    Attributes:
+        time: absolute time of the decision in minutes.
+        epoch_index: index of the current load epoch.
+        job_index: index of the current job (counting job epochs only).
+        current: the current demanded by the job, in Ampere.
+        remaining_duration: time left in the job at this decision, in minutes.
+        views: one :class:`BatteryView` per battery, indexed by battery.
+        is_switchover: ``True`` when the decision is due to the previously
+            serving battery being observed empty mid-job.
+        previous_choice: battery that served the previous span, if any.
+    """
+
+    time: float
+    epoch_index: int
+    job_index: int
+    current: float
+    remaining_duration: float
+    views: Sequence[BatteryView]
+    is_switchover: bool = False
+    previous_choice: Optional[int] = None
+
+    def alive(self) -> List[int]:
+        """Indices of the batteries that have not been observed empty."""
+        return [view.index for view in self.views if not view.is_empty]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Interface for battery scheduling policies."""
+
+    #: Short identifier used in tables and registries.
+    name: str = "abstract"
+
+    def reset(self, n_batteries: int) -> None:
+        """Forget all internal state before a new simulation run."""
+
+    @abc.abstractmethod
+    def choose(self, context: DecisionContext) -> int:
+        """Return the index of the battery that should serve the job.
+
+        The returned battery must be alive (not observed empty); the
+        simulator validates this and raises otherwise.
+        """
+
+
+class SequentialPolicy(SchedulingPolicy):
+    """Use the batteries in index order; switch only when one is empty."""
+
+    name = "sequential"
+
+    def choose(self, context: DecisionContext) -> int:
+        alive = context.alive()
+        if not alive:
+            raise ValueError("no battery left to schedule")
+        return min(alive)
+
+
+class RoundRobinPolicy(SchedulingPolicy):
+    """Pick the next battery in a fixed cyclic order at every decision."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._last_choice: Optional[int] = None
+
+    def reset(self, n_batteries: int) -> None:
+        self._last_choice = None
+
+    def choose(self, context: DecisionContext) -> int:
+        alive = set(context.alive())
+        if not alive:
+            raise ValueError("no battery left to schedule")
+        n = len(context.views)
+        start = 0 if self._last_choice is None else (self._last_choice + 1) % n
+        for offset in range(n):
+            candidate = (start + offset) % n
+            if candidate in alive:
+                self._last_choice = candidate
+                return candidate
+        raise AssertionError("unreachable: alive set was non-empty")
+
+
+class BestOfTwoPolicy(SchedulingPolicy):
+    """Pick the non-empty battery with the most available charge.
+
+    Despite the name (taken from the paper, which schedules two batteries),
+    the rule generalises to any number of batteries: it is the
+    "best available charge" policy of Chiasserini & Rao and Benini et al.
+    Ties are broken towards the lowest battery index, which makes the policy
+    behave exactly like round robin on symmetric loads -- the behaviour the
+    paper reports.
+    """
+
+    name = "best-of-two"
+
+    def choose(self, context: DecisionContext) -> int:
+        alive = context.alive()
+        if not alive:
+            raise ValueError("no battery left to schedule")
+        previous = context.previous_choice
+        def sort_key(index: int):
+            view = context.views[index]
+            # Highest available charge first; prefer switching away from the
+            # battery that just served on ties (and then the lowest index)
+            # so that fully symmetric states alternate like round robin.
+            return (-view.available_charge, 1 if index == previous else 0, index)
+        return min(alive, key=sort_key)
+
+
+class WorstOfTwoPolicy(SchedulingPolicy):
+    """Adversarial baseline: always pick the weakest non-empty battery."""
+
+    name = "worst-of-two"
+
+    def choose(self, context: DecisionContext) -> int:
+        alive = context.alive()
+        if not alive:
+            raise ValueError("no battery left to schedule")
+        return min(alive, key=lambda index: (context.views[index].available_charge, index))
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Pick a uniformly random alive battery (seeded, for reproducibility)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self, n_batteries: int) -> None:
+        self._rng = random.Random(self.seed)
+
+    def choose(self, context: DecisionContext) -> int:
+        alive = context.alive()
+        if not alive:
+            raise ValueError("no battery left to schedule")
+        return self._rng.choice(alive)
+
+
+class FixedAssignmentPolicy(SchedulingPolicy):
+    """Replay a precomputed assignment (used to replay optimal schedules).
+
+    The assignment maps a decision counter (0 for the first scheduling
+    point, 1 for the second, ...) to a battery index.  Decisions beyond the
+    end of the assignment fall back to the best-available rule, which keeps
+    replays robust when the tail of a schedule is irrelevant (after the
+    recorded lifetime).
+    """
+
+    name = "fixed"
+
+    def __init__(self, assignment: Sequence[int]) -> None:
+        self.assignment = list(assignment)
+        self._decision = 0
+        self._fallback = BestOfTwoPolicy()
+
+    def reset(self, n_batteries: int) -> None:
+        self._decision = 0
+
+    def choose(self, context: DecisionContext) -> int:
+        index = self._decision
+        self._decision += 1
+        if index < len(self.assignment):
+            choice = self.assignment[index]
+            if context.views[choice].is_empty:
+                raise ValueError(
+                    f"fixed assignment chose battery {choice} at decision {index}, "
+                    "but it is already empty"
+                )
+            return choice
+        return self._fallback.choose(context)
+
+
+#: Registry of the named policies used by the analysis layer and the CLI
+#: examples.  The values are zero-argument factories so each simulation run
+#: gets a fresh, state-free policy instance.
+POLICY_REGISTRY: Dict[str, Callable[[], SchedulingPolicy]] = {
+    "sequential": SequentialPolicy,
+    "round-robin": RoundRobinPolicy,
+    "best-of-two": BestOfTwoPolicy,
+    "worst-of-two": WorstOfTwoPolicy,
+}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICY_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICY_REGISTRY))
+        raise ValueError(f"unknown policy {name!r}; known policies: {known}") from None
+    return factory()

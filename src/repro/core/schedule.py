@@ -1,0 +1,174 @@
+"""Schedules and simulation results.
+
+A *schedule* records which battery served which portion of the load.  It is
+produced both by the policy simulator (:mod:`repro.core.simulator`) and by
+the optimal scheduler (:mod:`repro.core.optimal`), and can be replayed, and
+rendered into the charge-evolution series of Figure 6 of the paper by
+:mod:`repro.analysis.figures`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduleEntry:
+    """One contiguous span during which a single battery serves the load.
+
+    Attributes:
+        epoch_index: index of the load epoch the span belongs to.
+        job_index: index of the job (counting only job epochs), or ``None``
+            for idle spans.
+        battery: index of the serving battery, or ``None`` for idle spans.
+        start_time: absolute start time in minutes.
+        end_time: absolute end time in minutes.
+        current: current drawn during the span in Ampere.
+        switchover: ``True`` when the span started because the previously
+            serving battery was observed empty mid-job.
+    """
+
+    epoch_index: int
+    job_index: Optional[int]
+    battery: Optional[int]
+    start_time: float
+    end_time: float
+    current: float
+    switchover: bool = False
+
+    def __post_init__(self) -> None:
+        if self.end_time < self.start_time:
+            raise ValueError("end_time must not precede start_time")
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def is_idle(self) -> bool:
+        return self.battery is None
+
+
+@dataclasses.dataclass(frozen=True)
+class Schedule:
+    """A complete schedule: an ordered sequence of spans plus metadata."""
+
+    policy_name: str
+    entries: Tuple[ScheduleEntry, ...]
+    n_batteries: int
+
+    def __post_init__(self) -> None:
+        if self.n_batteries < 1:
+            raise ValueError("a schedule needs at least one battery")
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def end_time(self) -> float:
+        return self.entries[-1].end_time if self.entries else 0.0
+
+    def serving_entries(self) -> List[ScheduleEntry]:
+        """The spans in which some battery serves a job."""
+        return [entry for entry in self.entries if entry.battery is not None]
+
+    def job_assignments(self) -> Dict[int, List[int]]:
+        """Mapping from job index to the batteries that served it, in order."""
+        assignments: Dict[int, List[int]] = {}
+        for entry in self.entries:
+            if entry.job_index is None or entry.battery is None:
+                continue
+            assignments.setdefault(entry.job_index, [])
+            batteries = assignments[entry.job_index]
+            if not batteries or batteries[-1] != entry.battery:
+                batteries.append(entry.battery)
+        return assignments
+
+    def battery_usage(self, battery: int) -> float:
+        """Total time (minutes) the given battery spent serving the load."""
+        return sum(entry.duration for entry in self.entries if entry.battery == battery)
+
+    def switch_count(self) -> int:
+        """Number of times the serving battery changed between consecutive jobs."""
+        serving = self.serving_entries()
+        return sum(
+            1
+            for previous, current in zip(serving[:-1], serving[1:])
+            if previous.battery != current.battery
+        )
+
+    def per_battery_segments(self, horizon: Optional[float] = None) -> List[List[Tuple[float, float]]]:
+        """Per-battery piecewise-constant load segments implied by the schedule.
+
+        Battery ``i`` sees its scheduled current while it serves and zero
+        current otherwise.  The result can be fed directly to the battery
+        models to regenerate charge-evolution curves (Figure 6).
+        """
+        end = horizon if horizon is not None else self.end_time
+        segments: List[List[Tuple[float, float]]] = [[] for _ in range(self.n_batteries)]
+        cursors = [0.0] * self.n_batteries
+        for entry in self.entries:
+            if entry.battery is None or entry.duration <= 0.0:
+                continue
+            start = min(entry.start_time, end)
+            stop = min(entry.end_time, end)
+            if stop <= start:
+                continue
+            battery = entry.battery
+            if start > cursors[battery]:
+                segments[battery].append((0.0, start - cursors[battery]))
+            segments[battery].append((entry.current, stop - start))
+            cursors[battery] = stop
+        for battery in range(self.n_batteries):
+            if cursors[battery] < end:
+                segments[battery].append((0.0, end - cursors[battery]))
+        return segments
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating a policy (or replaying a schedule) on a load.
+
+    Attributes:
+        lifetime: system lifetime in minutes (time at which the last battery
+            was observed empty), or ``None`` if the batteries survived the
+            whole load.
+        schedule: the schedule that was executed.
+        final_states: the per-battery model states at the end.
+        residual_charge: total charge (Amin) left in the batteries at the
+            end of the simulation.
+        decisions: number of scheduling decisions taken (job starts plus
+            mid-job switchovers).
+    """
+
+    lifetime: Optional[float]
+    schedule: Schedule
+    final_states: Tuple[Any, ...]
+    residual_charge: float
+    decisions: int
+
+    @property
+    def survived(self) -> bool:
+        return self.lifetime is None
+
+    def lifetime_or_raise(self) -> float:
+        """The lifetime, raising if the batteries outlived the load.
+
+        Experiments that tabulate lifetimes (Table 5) use loads long enough
+        to exhaust the batteries, so surviving the load indicates a
+        configuration error.
+        """
+        if self.lifetime is None:
+            raise RuntimeError(
+                "the batteries survived the whole load; extend the load to "
+                "measure a lifetime"
+            )
+        return self.lifetime
+
+
+def relative_difference(value: float, reference: float) -> float:
+    """Relative difference in percent, as reported in the paper's tables."""
+    if reference == 0.0:
+        raise ValueError("reference value must be non-zero")
+    return (value - reference) / reference * 100.0

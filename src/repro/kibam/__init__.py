@@ -1,0 +1,75 @@
+"""Battery models used throughout the reproduction.
+
+The central model is the Kinetic Battery Model (KiBaM) of Manwell and
+McGowan, in the coordinate-transformed form used by Jongerden et al.
+(DSN 2009).  The subpackage provides:
+
+* :mod:`repro.kibam.parameters` -- battery parameter sets (the paper's B1/B2).
+* :mod:`repro.kibam.analytical` -- closed-form constant-current stepping in
+  the transformed ``(delta, gamma)`` coordinates (Section 2.2 of the paper).
+* :mod:`repro.kibam.model` -- the original two-well ODE form integrated
+  numerically with scipy (Section 2.1), used for cross validation.
+* :mod:`repro.kibam.transformed` -- conversions between the two coordinate
+  systems.
+* :mod:`repro.kibam.lifetime` -- lifetime solvers for constant and piecewise
+  constant loads.
+* :mod:`repro.kibam.discrete` -- the discretized KiBaM (dKiBaM, Section 2.3).
+* :mod:`repro.kibam.linear` -- an ideal linear battery baseline.
+* :mod:`repro.kibam.diffusion` -- the Rakhmatov-Vrudhula diffusion model,
+  included for model-comparison experiments.
+"""
+
+from repro.kibam.parameters import BatteryParameters, B1, B2, ITSY_LIION
+from repro.kibam.analytical import (
+    KibamState,
+    initial_state,
+    step_constant_current,
+    available_charge,
+    bound_charge,
+    is_empty,
+    state_of_charge,
+)
+from repro.kibam.transformed import to_wells, from_wells, height_difference
+from repro.kibam.lifetime import (
+    lifetime_constant_current,
+    lifetime_under_segments,
+    time_to_empty,
+    delivered_charge,
+)
+from repro.kibam.discrete import (
+    DiscreteKibam,
+    DiscreteBatteryState,
+    DischargeSpec,
+    recovery_steps_table,
+)
+from repro.kibam.model import TwoWellKibam
+from repro.kibam.linear import LinearBattery
+from repro.kibam.diffusion import DiffusionBattery
+
+__all__ = [
+    "BatteryParameters",
+    "B1",
+    "B2",
+    "ITSY_LIION",
+    "KibamState",
+    "initial_state",
+    "step_constant_current",
+    "available_charge",
+    "bound_charge",
+    "is_empty",
+    "state_of_charge",
+    "to_wells",
+    "from_wells",
+    "height_difference",
+    "lifetime_constant_current",
+    "lifetime_under_segments",
+    "time_to_empty",
+    "delivered_charge",
+    "DiscreteKibam",
+    "DiscreteBatteryState",
+    "DischargeSpec",
+    "recovery_steps_table",
+    "TwoWellKibam",
+    "LinearBattery",
+    "DiffusionBattery",
+]

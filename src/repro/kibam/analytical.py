@@ -1,0 +1,108 @@
+"""Analytical KiBaM in the transformed ``(delta, gamma)`` coordinates.
+
+Section 2.2 of the paper transforms the two-well coordinates ``(y1, y2)``
+into the height difference ``delta = h2 - h1`` and the total charge
+``gamma = y1 + y2``, which obey
+
+.. math::
+
+    \\frac{d\\delta}{dt} = \\frac{i(t)}{c} - k' \\delta,
+    \\qquad
+    \\frac{d\\gamma}{dt} = -i(t),
+
+with ``delta(0) = 0`` and ``gamma(0) = C``.  For a constant current ``I``
+over a step of length ``tau`` both equations have closed-form solutions,
+which is what this module implements.  The battery is empty when
+``gamma = (1 - c) * delta`` (equation (3) of the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.kibam.parameters import BatteryParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class KibamState:
+    """State of a KiBaM battery in transformed coordinates.
+
+    Attributes:
+        gamma: total charge remaining in the battery (Amin).
+        delta: height difference between the bound- and available-charge
+            wells (Amin; note that heights carry units of charge because the
+            wells have unit width in the model).
+    """
+
+    gamma: float
+    delta: float
+
+    def clamped(self) -> "KibamState":
+        """Return a copy with tiny negative values rounded up to zero."""
+        gamma = self.gamma if abs(self.gamma) > 1e-15 else 0.0
+        delta = self.delta if abs(self.delta) > 1e-15 else 0.0
+        return KibamState(gamma=gamma, delta=delta)
+
+
+def initial_state(params: BatteryParameters) -> KibamState:
+    """Fully charged state: ``gamma = C`` and ``delta = 0``."""
+    return KibamState(gamma=params.capacity, delta=0.0)
+
+
+def step_constant_current(
+    params: BatteryParameters,
+    state: KibamState,
+    current: float,
+    duration: float,
+) -> KibamState:
+    """Advance the battery state by ``duration`` minutes at constant current.
+
+    Args:
+        params: battery parameters.
+        state: state at the beginning of the step.
+        current: discharge current in Ampere (0 for an idle/recovery period).
+        duration: step length in minutes; must be non-negative.
+
+    Returns:
+        The state at the end of the step.  The caller is responsible for
+        checking emptiness (``is_empty``); stepping past the empty point is
+        permitted mathematically but has no physical meaning.
+    """
+    if duration < 0.0:
+        raise ValueError(f"duration must be non-negative, got {duration}")
+    if duration == 0.0:
+        return state
+    k_prime = params.k_prime
+    decay = math.exp(-k_prime * duration)
+    delta_inf = current / (params.c * k_prime)
+    new_delta = delta_inf + (state.delta - delta_inf) * decay
+    new_gamma = state.gamma - current * duration
+    return KibamState(gamma=new_gamma, delta=new_delta)
+
+
+def available_charge(params: BatteryParameters, state: KibamState) -> float:
+    """Charge in the available-charge well, ``y1 = c * (gamma - (1 - c) * delta)``."""
+    return params.c * (state.gamma - (1.0 - params.c) * state.delta)
+
+
+def bound_charge(params: BatteryParameters, state: KibamState) -> float:
+    """Charge in the bound-charge well, ``y2 = gamma - y1``."""
+    return state.gamma - available_charge(params, state)
+
+
+def is_empty(params: BatteryParameters, state: KibamState, tolerance: float = 0.0) -> bool:
+    """Whether the battery is empty: ``gamma <= (1 - c) * delta`` (eq. (3)).
+
+    A non-negative ``tolerance`` (in Amin) makes the check slightly
+    conservative, which is useful when states come from numerical
+    integration.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    return state.gamma - (1.0 - params.c) * state.delta <= tolerance
+
+
+def state_of_charge(params: BatteryParameters, state: KibamState) -> float:
+    """Fraction of the total capacity still stored in the battery."""
+    return state.gamma / params.capacity

@@ -1,0 +1,326 @@
+"""The discretized Kinetic Battery Model (dKiBaM, Section 2.3 of the paper).
+
+Time is discretized in ticks of size ``T`` minutes, the total charge in
+``N = C / Gamma`` units of ``Gamma`` Amin, and the height difference in
+units of ``Gamma / c``.  Two processes change the state:
+
+* **discharge**: at a constant current ``I`` it takes ``Gamma / (I * T)``
+  ticks to draw one charge unit; every draw removes ``cur`` charge units
+  from the total charge counter ``n`` and adds ``cur`` units to the height
+  difference counter ``m`` (equation (7) of the paper relates ``cur`` and
+  ``cur_times`` to the current);
+* **recovery**: the height difference decays according to
+  ``delta(t) = delta(0) * exp(-k' t)``; the number of ticks needed to drop
+  from ``m`` units to ``m - 1`` units is ``round(-ln((m-1)/m) / (k' T))``
+  (equation (6)), precomputed in a table.  Height difference 1 never decays
+  further (the continuous decay never reaches zero).
+
+The battery is empty when ``c * n <= (1 - c) * m`` (equation (8)); the
+TA-KiBaM uses the integer per-mille form ``(1000 - c) * m >= c * n`` which
+is also what this module checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.kibam.analytical import KibamState
+from repro.kibam.parameters import BatteryParameters
+
+#: A load segment: (current in Ampere, duration in minutes).
+Segment = Tuple[float, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class DischargeSpec:
+    """Integer discharge specification for one epoch of the dKiBaM.
+
+    ``cur`` charge units are drawn every ``cur_times`` ticks, so the
+    represented current is ``cur * Gamma / (cur_times * T)`` (equation (7)).
+    """
+
+    cur: int
+    cur_times: int
+
+    def __post_init__(self) -> None:
+        if self.cur < 0:
+            raise ValueError(f"cur must be non-negative, got {self.cur}")
+        if self.cur_times <= 0:
+            raise ValueError(f"cur_times must be positive, got {self.cur_times}")
+
+    @property
+    def is_idle(self) -> bool:
+        return self.cur == 0
+
+    def current(self, charge_unit: float, time_step: float) -> float:
+        """The current in Ampere represented by this specification."""
+        return self.cur * charge_unit / (self.cur_times * time_step)
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscreteBatteryState:
+    """State of one dKiBaM battery.
+
+    Attributes:
+        n: remaining total charge in charge units.
+        m: height difference in height units.
+        disch_ticks: ticks elapsed since the last charge-unit draw.
+        recov_ticks: ticks elapsed since the last height-unit recovery.
+        empty: whether the battery has been observed empty.
+    """
+
+    n: int
+    m: int
+    disch_ticks: int = 0
+    recov_ticks: int = 0
+    empty: bool = False
+
+
+def recovery_steps_table(
+    params: BatteryParameters,
+    time_step: float,
+    max_units: int,
+) -> List[int]:
+    """Precompute the per-height recovery times in ticks (equation (6)).
+
+    ``table[m]`` is the number of ticks needed for the height difference to
+    drop from ``m`` to ``m - 1`` units.  Entries 0 and 1 are sentinels (no
+    recovery happens at or below one unit) and are set to a very large value.
+    """
+    if time_step <= 0.0:
+        raise ValueError("time_step must be positive")
+    if max_units < 1:
+        raise ValueError("max_units must be at least 1")
+    unreachable = 2**62
+    table = [unreachable, unreachable]
+    for m in range(2, max_units + 1):
+        seconds = -math.log((m - 1) / m) / params.k_prime
+        ticks = max(1, round(seconds / time_step))
+        table.append(ticks)
+    return table
+
+
+class DiscreteKibam:
+    """Tick-based simulator for the discretized KiBaM of one battery.
+
+    Args:
+        params: battery parameters.
+        time_step: tick length ``T`` in minutes (the paper uses 0.01 min).
+        charge_unit: charge unit ``Gamma`` in Amin (the paper uses 0.01 Amin).
+    """
+
+    def __init__(
+        self,
+        params: BatteryParameters,
+        time_step: float = 0.01,
+        charge_unit: float = 0.01,
+    ) -> None:
+        if time_step <= 0.0:
+            raise ValueError("time_step must be positive")
+        if charge_unit <= 0.0:
+            raise ValueError("charge_unit must be positive")
+        self.params = params
+        self.time_step = time_step
+        self.charge_unit = charge_unit
+        self.total_units = round(params.capacity / charge_unit)
+        if self.total_units < 1:
+            raise ValueError("charge_unit is larger than the battery capacity")
+        #: Height-difference step size Delta = Gamma / c, in Amin.
+        self.height_unit = charge_unit / params.c
+        self.c_permille = params.c_permille
+        # The height difference can never exceed the number of charge units
+        # ever drawn, which is bounded by the total number of charge units.
+        self.recovery_steps = recovery_steps_table(params, time_step, self.total_units + 1)
+
+    # ------------------------------------------------------------------ #
+    # state construction and inspection
+    # ------------------------------------------------------------------ #
+    def initial_state(self) -> DiscreteBatteryState:
+        """Fully charged battery: all units present, zero height difference."""
+        return DiscreteBatteryState(n=self.total_units, m=0)
+
+    def is_empty(self, state: DiscreteBatteryState) -> bool:
+        """Empty criterion (8): ``(1000 - c) * m >= c * n`` in per-mille form."""
+        return (1000 - self.c_permille) * state.m >= self.c_permille * state.n
+
+    def to_continuous(self, state: DiscreteBatteryState) -> KibamState:
+        """Map a discrete state to the transformed continuous coordinates."""
+        return KibamState(
+            gamma=state.n * self.charge_unit,
+            delta=state.m * self.height_unit,
+        )
+
+    def available_charge(self, state: DiscreteBatteryState) -> float:
+        """Available charge ``y1`` in Amin implied by the discrete state."""
+        continuous = self.to_continuous(state)
+        return self.params.c * (continuous.gamma - (1.0 - self.params.c) * continuous.delta)
+
+    # ------------------------------------------------------------------ #
+    # discharge specifications
+    # ------------------------------------------------------------------ #
+    def discharge_spec(self, current: float, max_cur_times: int = 10_000) -> DischargeSpec:
+        """Integer (cur, cur_times) pair representing ``current`` (equation (7)).
+
+        The ratio ``cur / cur_times`` must equal ``I * T / Gamma``; the
+        smallest such integer pair is returned.  Raises ``ValueError`` when
+        the current cannot be represented with a denominator up to
+        ``max_cur_times`` (pick a finer time step in that case).
+        """
+        if current < 0.0:
+            raise ValueError("current must be non-negative")
+        if current == 0.0:
+            return DischargeSpec(cur=0, cur_times=1)
+        ratio = Fraction(current * self.time_step / self.charge_unit).limit_denominator(max_cur_times)
+        if ratio.numerator == 0:
+            raise ValueError(
+                f"current {current} A is too small to represent with time step "
+                f"{self.time_step} and charge unit {self.charge_unit}"
+            )
+        exact = current * self.time_step / self.charge_unit
+        approx = ratio.numerator / ratio.denominator
+        if abs(approx - exact) > 1e-9 * max(1.0, exact):
+            raise ValueError(
+                f"current {current} A is not representable exactly "
+                f"(closest fraction {ratio}); refine the discretization"
+            )
+        return DischargeSpec(cur=ratio.numerator, cur_times=ratio.denominator)
+
+    # ------------------------------------------------------------------ #
+    # dynamics
+    # ------------------------------------------------------------------ #
+    def tick(
+        self,
+        state: DiscreteBatteryState,
+        spec: Optional[DischargeSpec] = None,
+    ) -> DiscreteBatteryState:
+        """Advance the battery by one tick.
+
+        Args:
+            state: state at the beginning of the tick.
+            spec: discharge specification if the battery is switched on for
+                this tick; ``None`` (or an idle spec) means the battery only
+                recovers.
+
+        Returns:
+            The state at the end of the tick.  The empty criterion can only
+            start to hold when charge is drawn (discharging lowers ``n`` and
+            raises ``m``, recovery moves the state away from empty), so it
+            is evaluated right after every draw -- this mirrors the TA-KiBaM
+            total-charge automaton, whose guard towards the ``empty``
+            location carries no clock constraint and therefore fires as soon
+            as the criterion becomes true.
+        """
+        if state.empty:
+            return state
+        n, m = state.n, state.m
+        disch_ticks, recov_ticks = state.disch_ticks, state.recov_ticks
+        became_empty = False
+
+        # Recovery process: runs whenever the height difference exceeds one
+        # unit, independently of the load (Section 2.3 separates the two
+        # processes; the recovery table does not depend on the current).
+        if m > 1:
+            recov_ticks += 1
+            if recov_ticks >= self.recovery_steps[m]:
+                m -= 1
+                recov_ticks = 0
+        else:
+            recov_ticks = 0
+
+        # Discharge process.
+        discharging = spec is not None and not spec.is_idle
+        if discharging:
+            assert spec is not None
+            disch_ticks += 1
+            if disch_ticks >= spec.cur_times:
+                if (1000 - self.c_permille) * m >= self.c_permille * n:
+                    # Already empty at the draw instant (can happen when the
+                    # battery is switched on in an almost-empty state).
+                    became_empty = True
+                else:
+                    n -= spec.cur
+                    m += spec.cur
+                    disch_ticks = 0
+                    if (1000 - self.c_permille) * m >= self.c_permille * n:
+                        became_empty = True
+        else:
+            disch_ticks = 0
+
+        return DiscreteBatteryState(
+            n=n,
+            m=m,
+            disch_ticks=disch_ticks,
+            recov_ticks=recov_ticks,
+            empty=became_empty,
+        )
+
+    def run_segment(
+        self,
+        state: DiscreteBatteryState,
+        current: float,
+        duration: float,
+    ) -> Tuple[DiscreteBatteryState, Optional[int]]:
+        """Run one constant-current segment.
+
+        Returns the final state and, if the battery became empty during the
+        segment, the number of ticks into the segment at which that
+        happened (otherwise ``None``).
+        """
+        spec = self.discharge_spec(current) if current > 0.0 else None
+        ticks = self.duration_to_ticks(duration)
+        for tick_index in range(1, ticks + 1):
+            state = self.tick(state, spec)
+            if state.empty:
+                return state, tick_index
+        return state, None
+
+    def duration_to_ticks(self, duration: float) -> int:
+        """Convert a duration in minutes to a whole number of ticks."""
+        if duration < 0.0:
+            raise ValueError("duration must be non-negative")
+        ticks = round(duration / self.time_step)
+        if abs(ticks * self.time_step - duration) > 1e-9:
+            raise ValueError(
+                f"duration {duration} min is not a multiple of the time step "
+                f"{self.time_step} min"
+            )
+        return ticks
+
+    def lifetime_under_segments(self, segments: Iterable[Segment]) -> Optional[float]:
+        """Lifetime (minutes) of a full battery under a piecewise-constant load.
+
+        Returns ``None`` when the battery survives the whole load.
+        """
+        state = self.initial_state()
+        elapsed_ticks = 0
+        for current, duration in segments:
+            state, empty_tick = self.run_segment(state, current, duration)
+            if empty_tick is not None:
+                return (elapsed_ticks + empty_tick) * self.time_step
+            elapsed_ticks += self.duration_to_ticks(duration)
+        return None
+
+    def trace_under_segments(
+        self,
+        segments: Sequence[Segment],
+        sample_every: int = 10,
+    ) -> List[Tuple[float, DiscreteBatteryState]]:
+        """Sampled state trajectory under a load, for plotting and debugging."""
+        if sample_every < 1:
+            raise ValueError("sample_every must be at least 1")
+        state = self.initial_state()
+        samples: List[Tuple[float, DiscreteBatteryState]] = [(0.0, state)]
+        elapsed_ticks = 0
+        for current, duration in segments:
+            spec = self.discharge_spec(current) if current > 0.0 else None
+            for _ in range(self.duration_to_ticks(duration)):
+                state = self.tick(state, spec)
+                elapsed_ticks += 1
+                if elapsed_ticks % sample_every == 0 or state.empty:
+                    samples.append((elapsed_ticks * self.time_step, state))
+                if state.empty:
+                    return samples
+        return samples

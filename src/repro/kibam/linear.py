@@ -1,0 +1,51 @@
+"""Ideal linear battery model.
+
+The linear model treats the battery as a bucket of charge: the full
+capacity is always available, regardless of the discharge rate or usage
+pattern.  It exhibits neither the rate-capacity effect nor the recovery
+effect and therefore provides the upper bound that the paper's Section 6
+discussion refers to when quantifying how much charge the KiBaM leaves
+stranded in the bound well.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.kibam.parameters import BatteryParameters
+
+Segment = Tuple[float, float]
+
+
+class LinearBattery:
+    """Rate-independent battery: lifetime is capacity divided by current."""
+
+    def __init__(self, params: BatteryParameters) -> None:
+        self.params = params
+
+    def lifetime_constant_current(self, current: float) -> float:
+        """Lifetime under constant current: ``C / I``."""
+        if current <= 0.0:
+            raise ValueError("current must be positive")
+        return self.params.capacity / current
+
+    def lifetime_under_segments(self, segments: Iterable[Segment]) -> Optional[float]:
+        """Time at which the cumulative drawn charge reaches the capacity."""
+        remaining = self.params.capacity
+        elapsed = 0.0
+        for current, duration in segments:
+            if current < 0.0 or duration < 0.0:
+                raise ValueError("segments must have non-negative current and duration")
+            drawn = current * duration
+            if current > 0.0 and drawn >= remaining:
+                return elapsed + remaining / current
+            remaining -= drawn
+            elapsed += duration
+        return None
+
+    def remaining_after_segments(self, segments: Iterable[Segment]) -> float:
+        """Charge left after serving the whole load (may be negative if overdrawn)."""
+        remaining = self.params.capacity
+        for current, duration in segments:
+            remaining -= current * duration
+        return remaining

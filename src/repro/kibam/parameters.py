@@ -1,0 +1,95 @@
+"""Battery parameter sets for the Kinetic Battery Model.
+
+The KiBaM is characterised by three parameters:
+
+* ``capacity`` -- total charge capacity ``C`` of the battery, in
+  Ampere-minutes (Amin),
+* ``c`` -- the fraction of the capacity held in the available-charge well,
+* ``k_prime`` -- the transformed valve conductance ``k' = k / (c * (1 - c))``
+  in 1/min (the paper works with ``k'`` directly).
+
+The paper uses the lithium-ion battery of the Itsy pocket computer with
+``c = 0.166`` and ``k' = 0.122 / min`` and two capacities: battery type B1
+with 5.5 Amin and type B2 with 11 Amin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class BatteryParameters:
+    """Immutable KiBaM parameter set.
+
+    Attributes:
+        capacity: total capacity ``C`` in Ampere-minutes.
+        c: fraction of the capacity in the available-charge well (0 < c < 1).
+        k_prime: transformed rate constant ``k'`` in 1/min.
+        name: optional human readable identifier.
+    """
+
+    capacity: float
+    c: float
+    k_prime: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0.0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if not 0.0 < self.c < 1.0:
+            raise ValueError(f"c must lie strictly between 0 and 1, got {self.c}")
+        if self.k_prime <= 0.0:
+            raise ValueError(f"k_prime must be positive, got {self.k_prime}")
+
+    @property
+    def k(self) -> float:
+        """The untransformed valve conductance ``k = k' * c * (1 - c)``."""
+        return self.k_prime * self.c * (1.0 - self.c)
+
+    @property
+    def available_capacity(self) -> float:
+        """Initial charge in the available-charge well, ``c * C``."""
+        return self.c * self.capacity
+
+    @property
+    def bound_capacity(self) -> float:
+        """Initial charge in the bound-charge well, ``(1 - c) * C``."""
+        return (1.0 - self.c) * self.capacity
+
+    @property
+    def c_permille(self) -> int:
+        """``c`` scaled to an integer per-mille value, as used by the TA-KiBaM."""
+        return round(1000.0 * self.c)
+
+    def scaled(self, factor: float, name: str = "") -> "BatteryParameters":
+        """Return a copy with the capacity scaled by ``factor``.
+
+        The KiBaM equations are linear in charge, so scaling the capacity
+        (and the applied current by the same factor) leaves the lifetime
+        unchanged.  This is used by the capacity-scaling experiment of
+        Section 6 of the paper.
+        """
+        if factor <= 0.0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return BatteryParameters(
+            capacity=self.capacity * factor,
+            c=self.c,
+            k_prime=self.k_prime,
+            name=name or (f"{self.name}x{factor:g}" if self.name else ""),
+        )
+
+    def steady_state_height_difference(self, current: float) -> float:
+        """Asymptotic height difference ``I / (c * k')`` under constant current."""
+        return current / (self.c * self.k_prime)
+
+
+#: The Itsy pocket-computer lithium-ion cell parameters from Jongerden &
+#: Haverkort, "Battery modeling", TR-CTIT-08-01 (paper reference [15]).
+ITSY_LIION = BatteryParameters(capacity=5.5, c=0.166, k_prime=0.122, name="itsy-liion")
+
+#: Battery type B1 of the paper: 5.5 Amin capacity.
+B1 = BatteryParameters(capacity=5.5, c=0.166, k_prime=0.122, name="B1")
+
+#: Battery type B2 of the paper: 11 Amin capacity, same c and k'.
+B2 = BatteryParameters(capacity=11.0, c=0.166, k_prime=0.122, name="B2")

@@ -1,0 +1,36 @@
+"""Conversions between the two KiBaM coordinate systems.
+
+The original KiBaM (Section 2.1 of the paper) tracks the charge in the
+available-charge well ``y1`` and the bound-charge well ``y2``.  The
+transformed coordinates (Section 2.2) are the total charge
+``gamma = y1 + y2`` and the height difference ``delta = h2 - h1`` with
+``h1 = y1 / c`` and ``h2 = y2 / (1 - c)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kibam.analytical import KibamState
+from repro.kibam.parameters import BatteryParameters
+
+
+def height_difference(params: BatteryParameters, y1: float, y2: float) -> float:
+    """Height difference ``h2 - h1`` for well charges ``(y1, y2)``."""
+    return y2 / (1.0 - params.c) - y1 / params.c
+
+
+def from_wells(params: BatteryParameters, y1: float, y2: float) -> KibamState:
+    """Build a transformed state from well charges ``(y1, y2)``."""
+    return KibamState(gamma=y1 + y2, delta=height_difference(params, y1, y2))
+
+
+def to_wells(params: BatteryParameters, state: KibamState) -> Tuple[float, float]:
+    """Recover the well charges ``(y1, y2)`` from a transformed state.
+
+    Inverse of :func:`from_wells`:
+    ``y1 = c * (gamma - (1 - c) * delta)`` and ``y2 = gamma - y1``.
+    """
+    y1 = params.c * (state.gamma - (1.0 - params.c) * state.delta)
+    y2 = state.gamma - y1
+    return y1, y2

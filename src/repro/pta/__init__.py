@@ -1,0 +1,45 @@
+"""Linear priced timed automata (LPTA) with discrete-time semantics.
+
+This subpackage is the reproduction's stand-in for Uppaal Cora (Section 3 of
+the paper).  It provides:
+
+* :mod:`repro.pta.automaton` -- locations, edges, guards, invariants,
+  updates, clock resets, synchronisation labels and cost annotations;
+* :mod:`repro.pta.network` -- networks of automata with binary and
+  broadcast channels and global integer variables;
+* :mod:`repro.pta.state` / :mod:`repro.pta.semantics` -- explicit
+  discrete-time successor semantics (delay one tick or take a switch);
+* :mod:`repro.pta.mcr` -- minimum-cost reachability (the Cora query used to
+  generate optimal schedules) plus plain reachability and deterministic runs;
+* :mod:`repro.pta.trace` -- extraction of action traces and schedules;
+* :mod:`repro.pta.examples` -- the lamp/user example of Section 3.
+
+The TA-KiBaM of Section 4 only uses integer clock bounds and integer data,
+so the discrete-time semantics is exact for the models built here; see
+DESIGN.md for the (documented) deviations from Uppaal's dense-time engine.
+"""
+
+from repro.pta.automaton import Location, Edge, Sync, Automaton
+from repro.pta.network import Network
+from repro.pta.state import NetworkState
+from repro.pta.semantics import NetworkSemantics, Transition
+from repro.pta.mcr import MCRResult, minimum_cost_reachability, reachable, run_deterministic
+from repro.pta.trace import action_names, decisions_in_trace, trace_duration
+
+__all__ = [
+    "Location",
+    "Edge",
+    "Sync",
+    "Automaton",
+    "Network",
+    "NetworkState",
+    "NetworkSemantics",
+    "Transition",
+    "MCRResult",
+    "minimum_cost_reachability",
+    "reachable",
+    "run_deterministic",
+    "action_names",
+    "decisions_in_trace",
+    "trace_duration",
+]

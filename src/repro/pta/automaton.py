@@ -1,0 +1,176 @@
+"""Building blocks of a (linear priced) timed automaton.
+
+Guards, invariants, updates and cost expressions are plain Python callables
+over the global variable valuation and the clock valuation; this keeps the
+substrate small and lets model builders (such as the TA-KiBaM of
+:mod:`repro.takibam`) capture constant tables in closures instead of
+encoding them as state.
+
+Callable signatures:
+
+* guard / invariant: ``f(variables, clocks) -> bool``
+* update: ``f(variables) -> None`` (mutates the variable dict in place; the
+  semantics layer always passes a fresh copy)
+* cost rate / edge cost: an ``int``/``float`` or ``f(variables) -> number``
+
+Clocks are identified by name and advance in integer ticks.  Every clock
+name must be unique within the network, so builders typically suffix clock
+names with the owning automaton's identifier.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping, MutableMapping, Optional, Sequence, Tuple, Union
+
+GuardFn = Callable[[Mapping[str, int], Mapping[str, int]], bool]
+UpdateFn = Callable[[MutableMapping[str, int]], None]
+CostSpec = Union[int, float, Callable[[Mapping[str, int]], float]]
+
+
+def always_true(_variables: Mapping[str, int], _clocks: Mapping[str, int]) -> bool:
+    """The trivial guard/invariant."""
+    return True
+
+
+def no_update(_variables: MutableMapping[str, int]) -> None:
+    """The trivial update."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Sync:
+    """Synchronisation label of an edge.
+
+    Attributes:
+        channel: channel name.
+        is_send: ``True`` for the ``!`` (send) side, ``False`` for ``?``.
+    """
+
+    channel: str
+    is_send: bool
+
+    @classmethod
+    def send(cls, channel: str) -> "Sync":
+        return cls(channel=channel, is_send=True)
+
+    @classmethod
+    def receive(cls, channel: str) -> "Sync":
+        return cls(channel=channel, is_send=False)
+
+    def __str__(self) -> str:
+        return f"{self.channel}{'!' if self.is_send else '?'}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Location:
+    """A location (control state) of an automaton.
+
+    Attributes:
+        name: location name, unique within the automaton.
+        invariant: predicate that must keep holding for time to pass while
+            the automaton occupies this location.
+        cost_rate: cost accumulated per tick spent in this location.
+        committed: when any automaton of the network is in a committed
+            location, time may not pass and the next switch must leave a
+            committed location.
+        urgent: time may not pass while this location is occupied (but
+            unlike ``committed`` it does not constrain which switch fires).
+    """
+
+    name: str
+    invariant: GuardFn = always_true
+    cost_rate: CostSpec = 0
+    committed: bool = False
+    urgent: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """A switch between two locations of one automaton.
+
+    Attributes:
+        source: name of the source location.
+        target: name of the target location.
+        guard: enabling condition over variables and clocks.
+        sync: optional synchronisation label (``None`` for internal edges).
+        update: variable update applied when the switch fires.
+        clock_resets: clocks reset to zero when the switch fires.
+        cost: cost added when the switch fires.
+        name: optional label used in traces (defaults to source->target).
+    """
+
+    source: str
+    target: str
+    guard: GuardFn = always_true
+    sync: Optional[Sync] = None
+    update: UpdateFn = no_update
+    clock_resets: Tuple[str, ...] = ()
+    cost: CostSpec = 0
+    name: str = ""
+
+    def label(self, automaton_name: str) -> str:
+        """Human readable label for traces."""
+        base = self.name or f"{self.source}->{self.target}"
+        sync = f" {self.sync}" if self.sync else ""
+        return f"{automaton_name}.{base}{sync}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Automaton:
+    """One timed automaton: locations, clocks and edges.
+
+    Attributes:
+        name: automaton name, unique within the network.
+        locations: the automaton's locations (the first entries' names must
+            include ``initial_location``).
+        initial_location: name of the initial location.
+        clocks: names of the clocks owned by this automaton (must be unique
+            across the whole network).
+        edges: the switches.
+    """
+
+    name: str
+    locations: Tuple[Location, ...]
+    initial_location: str
+    clocks: Tuple[str, ...] = ()
+    edges: Tuple[Edge, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [location.name for location in self.locations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate location names in automaton {self.name!r}")
+        if self.initial_location not in names:
+            raise ValueError(
+                f"initial location {self.initial_location!r} is not a location of {self.name!r}"
+            )
+        known = set(names)
+        for edge in self.edges:
+            if edge.source not in known or edge.target not in known:
+                raise ValueError(
+                    f"edge {edge.source!r}->{edge.target!r} of {self.name!r} refers to "
+                    "an unknown location"
+                )
+            for clock in edge.clock_resets:
+                if clock not in self.clocks:
+                    raise ValueError(
+                        f"edge {edge.source!r}->{edge.target!r} of {self.name!r} resets "
+                        f"clock {clock!r}, which the automaton does not own"
+                    )
+
+    def location(self, name: str) -> Location:
+        """Look up a location by name."""
+        for location in self.locations:
+            if location.name == name:
+                return location
+        raise KeyError(f"automaton {self.name!r} has no location {name!r}")
+
+    def edges_from(self, location_name: str) -> Tuple[Edge, ...]:
+        """All edges leaving the given location."""
+        return tuple(edge for edge in self.edges if edge.source == location_name)
+
+
+def evaluate_cost(spec: CostSpec, variables: Mapping[str, int]) -> float:
+    """Evaluate a cost specification (constant or callable) on a valuation."""
+    if callable(spec):
+        return float(spec(variables))
+    return float(spec)

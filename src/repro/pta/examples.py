@@ -1,0 +1,184 @@
+"""The lamp / user example of Section 3 of the paper.
+
+The example is of no relevance to battery scheduling, but it exercises every
+ingredient of the substrate (channels, clocks, guards, invariants, committed
+behaviour, costs) and therefore doubles as living documentation and as a
+test fixture.
+"""
+
+from __future__ import annotations
+
+from repro.pta.automaton import Automaton, Edge, Location, Sync
+from repro.pta.network import Network
+
+
+def lamp_network(presses: int = 3, press_period: int = 3) -> Network:
+    """The manual lamp of Figure 2: off -> low -> bright, driven by a user.
+
+    Args:
+        presses: how many times the user presses the button before idling
+            forever.
+        press_period: ticks between two presses of the user.
+    """
+    lamp = Automaton(
+        name="lamp",
+        locations=(
+            Location(name="off"),
+            Location(name="low"),
+            Location(name="bright"),
+        ),
+        initial_location="off",
+        clocks=("y",),
+        edges=(
+            Edge(
+                source="off",
+                target="low",
+                sync=Sync.receive("press"),
+                clock_resets=("y",),
+                name="switch_on",
+            ),
+            Edge(
+                source="low",
+                target="off",
+                guard=lambda v, c: c["y"] >= 5,
+                sync=Sync.receive("press"),
+                name="switch_off_slow",
+            ),
+            Edge(
+                source="low",
+                target="bright",
+                guard=lambda v, c: c["y"] < 5,
+                sync=Sync.receive("press"),
+                name="brighten",
+            ),
+            Edge(
+                source="bright",
+                target="off",
+                sync=Sync.receive("press"),
+                name="switch_off",
+            ),
+        ),
+    )
+
+    def press_update(variables) -> None:
+        variables["presses_left"] -= 1
+
+    user = Automaton(
+        name="user",
+        locations=(
+            Location(name="idle"),
+        ),
+        initial_location="idle",
+        clocks=("u",),
+        edges=(
+            Edge(
+                source="idle",
+                target="idle",
+                guard=lambda v, c: v["presses_left"] > 0 and c["u"] >= press_period,
+                sync=Sync.send("press"),
+                update=press_update,
+                clock_resets=("u",),
+                name="press",
+            ),
+        ),
+    )
+    return Network(
+        automata=(lamp, user),
+        initial_variables={"presses_left": presses},
+    )
+
+
+def automatic_lamp_network(switch_on_cost: int = 50, presses: int = 2, press_period: int = 3) -> Network:
+    """The automatic lamp with costs of Figure 4.
+
+    The lamp switches itself off after 10 ticks; keeping it on costs 10 per
+    tick in ``low`` and 20 per tick in ``bright``, and switching it on costs
+    ``switch_on_cost``.  The ``press`` channel is a broadcast channel so the
+    user can press the button even when nobody listens (Section 3.1).
+
+    Unlike the manual lamp, the user here presses *exactly* every
+    ``press_period`` ticks (enforced by an invariant) until the presses run
+    out.  This keeps the priced state space finite along zero-cost paths,
+    which the minimum-cost reachability engine needs: with a lazy user the
+    cheapest behaviour would be to wait forever and never switch the lamp on.
+    """
+    lamp = Automaton(
+        name="lamp",
+        locations=(
+            Location(name="off"),
+            Location(
+                name="low",
+                invariant=lambda v, c: c["y"] <= 10,
+                cost_rate=10,
+            ),
+            Location(
+                name="bright",
+                invariant=lambda v, c: c["y"] <= 10,
+                cost_rate=20,
+            ),
+        ),
+        initial_location="off",
+        clocks=("y",),
+        edges=(
+            Edge(
+                source="off",
+                target="low",
+                sync=Sync.receive("press"),
+                clock_resets=("y",),
+                cost=switch_on_cost,
+                name="switch_on",
+            ),
+            Edge(
+                source="low",
+                target="bright",
+                guard=lambda v, c: c["y"] < 5,
+                sync=Sync.receive("press"),
+                name="brighten",
+            ),
+            Edge(
+                source="low",
+                target="off",
+                guard=lambda v, c: c["y"] >= 10,
+                name="auto_off_low",
+            ),
+            Edge(
+                source="bright",
+                target="off",
+                guard=lambda v, c: c["y"] >= 10,
+                name="auto_off_bright",
+            ),
+        ),
+    )
+
+    def press_update(variables) -> None:
+        variables["presses_left"] -= 1
+
+    user = Automaton(
+        name="user",
+        locations=(
+            Location(
+                name="idle",
+                # Time may only pass while the next press is not yet due (or
+                # all presses have been used up).
+                invariant=lambda v, c: v["presses_left"] == 0 or c["u"] <= press_period,
+            ),
+        ),
+        initial_location="idle",
+        clocks=("u",),
+        edges=(
+            Edge(
+                source="idle",
+                target="idle",
+                guard=lambda v, c: v["presses_left"] > 0 and c["u"] >= press_period,
+                sync=Sync.send("press"),
+                update=press_update,
+                clock_resets=("u",),
+                name="press",
+            ),
+        ),
+    )
+    return Network(
+        automata=(lamp, user),
+        initial_variables={"presses_left": presses},
+        broadcast_channels=frozenset({"press"}),
+    )

@@ -1,0 +1,221 @@
+"""Reachability engines on top of the discrete-time semantics.
+
+Three queries are provided:
+
+* :func:`minimum_cost_reachability` -- the Cora query: find a path from the
+  initial state to a goal state with minimal accumulated cost (uniform-cost
+  search / Dijkstra over the explicit state graph);
+* :func:`reachable` -- plain reachability (used for sanity checks and the
+  lamp example of Section 3);
+* :func:`run_deterministic` -- execute the network with an *eager*
+  deterministic strategy (actions before delays), resolving any remaining
+  nondeterminism through a caller-supplied chooser.  This is how the
+  validation experiments drive the TA-KiBaM with a fixed scheduling policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.pta.semantics import NetworkSemantics, Transition
+from repro.pta.state import NetworkState
+
+GoalFn = Callable[[NetworkState], bool]
+ChooserFn = Callable[[NetworkState, List[Transition]], int]
+
+
+@dataclasses.dataclass(frozen=True)
+class MCRResult:
+    """Result of a minimum-cost reachability query.
+
+    Attributes:
+        found: whether a goal state was reached.
+        cost: cost of the cheapest path to a goal state (``inf`` otherwise).
+        goal_state: the goal state that was reached, if any.
+        trace: the transitions of the cheapest path, in order.
+        states_explored: number of distinct configurations expanded.
+        truncated: ``True`` when the search stopped because ``max_states``
+            was hit before the goal was proven (un)reachable.
+    """
+
+    found: bool
+    cost: float
+    goal_state: Optional[NetworkState]
+    trace: Tuple[Transition, ...]
+    states_explored: int
+    truncated: bool = False
+
+
+def minimum_cost_reachability(
+    semantics: NetworkSemantics,
+    goal: GoalFn,
+    max_states: Optional[int] = None,
+) -> MCRResult:
+    """Find a minimum-cost path from the initial state to a goal state.
+
+    This is the query the paper runs in Uppaal Cora (``A[] not max.done``
+    with cost-optimal counterexample generation): the returned trace is the
+    cost-optimal schedule.
+    """
+    initial = semantics.initial_state()
+    counter = itertools.count()
+    frontier: List[Tuple[float, int, NetworkState]] = [(initial.cost, next(counter), initial)]
+    best_cost: Dict[Tuple, float] = {initial.configuration(): initial.cost}
+    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Transition]]] = {
+        initial.configuration(): (None, None)
+    }
+    explored = 0
+
+    while frontier:
+        cost, _, state = heapq.heappop(frontier)
+        configuration = state.configuration()
+        if cost > best_cost.get(configuration, float("inf")):
+            continue
+        if goal(state):
+            return MCRResult(
+                found=True,
+                cost=cost,
+                goal_state=state,
+                trace=_reconstruct(parents, configuration),
+                states_explored=explored,
+            )
+        explored += 1
+        if max_states is not None and explored > max_states:
+            return MCRResult(
+                found=False,
+                cost=float("inf"),
+                goal_state=None,
+                trace=(),
+                states_explored=explored,
+                truncated=True,
+            )
+        for transition in semantics.successors(state):
+            successor = transition.state
+            successor_configuration = successor.configuration()
+            if successor.cost < best_cost.get(successor_configuration, float("inf")):
+                best_cost[successor_configuration] = successor.cost
+                parents[successor_configuration] = (configuration, transition)
+                heapq.heappush(frontier, (successor.cost, next(counter), successor))
+
+    return MCRResult(
+        found=False,
+        cost=float("inf"),
+        goal_state=None,
+        trace=(),
+        states_explored=explored,
+    )
+
+
+def reachable(
+    semantics: NetworkSemantics,
+    goal: GoalFn,
+    max_states: Optional[int] = None,
+) -> MCRResult:
+    """Plain reachability: like MCR but ignores costs (breadth-first order)."""
+    initial = semantics.initial_state()
+    queue: List[NetworkState] = [initial]
+    seen = {initial.configuration()}
+    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Transition]]] = {
+        initial.configuration(): (None, None)
+    }
+    explored = 0
+    head = 0
+    while head < len(queue):
+        state = queue[head]
+        head += 1
+        if goal(state):
+            return MCRResult(
+                found=True,
+                cost=state.cost,
+                goal_state=state,
+                trace=_reconstruct(parents, state.configuration()),
+                states_explored=explored,
+            )
+        explored += 1
+        if max_states is not None and explored > max_states:
+            return MCRResult(
+                found=False,
+                cost=float("inf"),
+                goal_state=None,
+                trace=(),
+                states_explored=explored,
+                truncated=True,
+            )
+        for transition in semantics.successors(state):
+            configuration = transition.state.configuration()
+            if configuration not in seen:
+                seen.add(configuration)
+                parents[configuration] = (state.configuration(), transition)
+                queue.append(transition.state)
+    return MCRResult(
+        found=False, cost=float("inf"), goal_state=None, trace=(), states_explored=explored
+    )
+
+
+def run_deterministic(
+    semantics: NetworkSemantics,
+    goal: GoalFn,
+    chooser: Optional[ChooserFn] = None,
+    max_steps: int = 10_000_000,
+) -> MCRResult:
+    """Execute the network eagerly until a goal state or a deadlock.
+
+    At every step the enabled action transitions are preferred over the
+    delay transition (eager semantics, which matches the dKiBaM's behaviour
+    of drawing charge and recovering exactly when the corresponding clock
+    bound is reached).  When several action transitions are enabled the
+    ``chooser`` picks one; without a chooser the first is taken.
+    """
+    state = semantics.initial_state()
+    trace: List[Transition] = []
+    for _ in range(max_steps):
+        if goal(state):
+            return MCRResult(
+                found=True,
+                cost=state.cost,
+                goal_state=state,
+                trace=tuple(trace),
+                states_explored=len(trace),
+            )
+        actions = list(semantics.action_successors(state))
+        if actions:
+            if len(actions) == 1 or chooser is None:
+                transition = actions[0]
+            else:
+                index = chooser(state, actions)
+                if not 0 <= index < len(actions):
+                    raise ValueError(f"chooser returned invalid index {index}")
+                transition = actions[index]
+        else:
+            delay = semantics.delay_successor(state)
+            if delay is None:
+                return MCRResult(
+                    found=False,
+                    cost=state.cost,
+                    goal_state=state,
+                    trace=tuple(trace),
+                    states_explored=len(trace),
+                )
+            transition = delay
+        trace.append(transition)
+        state = transition.state
+    raise RuntimeError(f"deterministic run did not terminate within {max_steps} steps")
+
+
+def _reconstruct(
+    parents: Dict[Tuple, Tuple[Optional[Tuple], Optional[Transition]]],
+    goal_configuration: Tuple,
+) -> Tuple[Transition, ...]:
+    """Rebuild the transition sequence leading to a configuration."""
+    transitions: List[Transition] = []
+    configuration: Optional[Tuple] = goal_configuration
+    while configuration is not None:
+        parent, transition = parents[configuration]
+        if transition is not None:
+            transitions.append(transition)
+        configuration = parent
+    transitions.reverse()
+    return tuple(transitions)

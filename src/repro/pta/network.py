@@ -1,0 +1,84 @@
+"""Networks of priced timed automata.
+
+A network is a set of automata running in parallel, a global integer
+variable valuation and a set of channels.  Channels are binary by default
+(one sender synchronises with exactly one receiver); channels listed in
+``broadcast_channels`` follow broadcast semantics (the sender synchronises
+with every automaton that currently has an enabled receiving edge, possibly
+none).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
+
+from repro.pta.automaton import Automaton
+
+
+@dataclasses.dataclass(frozen=True)
+class Network:
+    """A network of timed automata with shared integer variables.
+
+    Attributes:
+        automata: the component automata, in a fixed order.
+        initial_variables: initial valuation of the global variables.
+        broadcast_channels: names of the channels with broadcast semantics.
+    """
+
+    automata: Tuple[Automaton, ...]
+    initial_variables: Mapping[str, int] = dataclasses.field(default_factory=dict)
+    broadcast_channels: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.automata:
+            raise ValueError("a network needs at least one automaton")
+        names = [automaton.name for automaton in self.automata]
+        if len(set(names)) != len(names):
+            raise ValueError("automaton names must be unique within a network")
+        clocks = [clock for automaton in self.automata for clock in automaton.clocks]
+        if len(set(clocks)) != len(clocks):
+            raise ValueError("clock names must be unique across the network")
+        # Normalise the variable mapping into a plain dict so that the
+        # semantics layer can copy it cheaply.
+        object.__setattr__(self, "initial_variables", dict(self.initial_variables))
+        object.__setattr__(self, "broadcast_channels", frozenset(self.broadcast_channels))
+
+    @property
+    def clock_names(self) -> Tuple[str, ...]:
+        """All clock names of the network, in automaton order."""
+        return tuple(clock for automaton in self.automata for clock in automaton.clocks)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """All global variable names, sorted for a stable state layout."""
+        return tuple(sorted(self.initial_variables))
+
+    def automaton_index(self, name: str) -> int:
+        """Index of an automaton by name."""
+        for index, automaton in enumerate(self.automata):
+            if automaton.name == name:
+                return index
+        raise KeyError(f"network has no automaton named {name!r}")
+
+    def channels(self) -> Dict[str, Tuple[int, ...]]:
+        """Map from channel name to the indices of automata that use it."""
+        users: Dict[str, set] = {}
+        for index, automaton in enumerate(self.automata):
+            for edge in automaton.edges:
+                if edge.sync is not None:
+                    users.setdefault(edge.sync.channel, set()).add(index)
+        return {channel: tuple(sorted(indices)) for channel, indices in users.items()}
+
+
+def make_network(
+    automata: Iterable[Automaton],
+    initial_variables: Mapping[str, int],
+    broadcast_channels: Iterable[str] = (),
+) -> Network:
+    """Convenience constructor mirroring :class:`Network` with iterables."""
+    return Network(
+        automata=tuple(automata),
+        initial_variables=dict(initial_variables),
+        broadcast_channels=frozenset(broadcast_channels),
+    )

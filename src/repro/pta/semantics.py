@@ -1,0 +1,242 @@
+"""Discrete-time successor semantics for networks of priced timed automata.
+
+The semantics offers two kinds of transitions from a state:
+
+* **action transitions**: an internal edge, a binary synchronisation (one
+  sender, one receiver on the same channel) or a broadcast synchronisation
+  (one sender plus every automaton with an enabled receiving edge); the
+  edge guards must hold, updates are applied (sender first), clocks are
+  reset, and edge costs are added;
+* **delay transitions**: one tick passes; every clock advances by one, the
+  cost grows by the sum of the location cost rates, and the transition is
+  only allowed when no committed or urgent location is occupied and every
+  location invariant still holds after the delay.
+
+Committed locations are handled as in Uppaal: while any automaton occupies
+a committed location, delays are forbidden and the next action must involve
+at least one committed location.
+
+Deviation from Uppaal (documented in DESIGN.md): invariants only restrict
+delays, not the ability to enter a location via an action.  The TA-KiBaM
+uses invariants solely to force timely draws/recoveries, for which this
+weaker interpretation is equivalent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.pta.automaton import Automaton, Edge, evaluate_cost
+from repro.pta.network import Network
+from repro.pta.state import NetworkState
+
+#: Safety cap on the number of receiver combinations explored for a single
+#: broadcast sender (combinatorial blow-ups indicate a modelling error).
+_MAX_BROADCAST_COMBINATIONS = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class Transition:
+    """One transition of the semantics: the action label and the successor."""
+
+    label: str
+    state: NetworkState
+    is_delay: bool = False
+    #: Indices of the automata that took part in the action (empty for delays).
+    participants: Tuple[int, ...] = ()
+
+
+class NetworkSemantics:
+    """Explicit-state, discrete-time semantics of a network."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._clock_names = network.clock_names
+        self._variable_names = network.variable_names
+        # Pre-index locations by (automaton index, name) for fast lookup.
+        self._locations: Dict[Tuple[int, str], object] = {}
+        for index, automaton in enumerate(network.automata):
+            for location in automaton.locations:
+                self._locations[(index, location.name)] = location
+
+    # ------------------------------------------------------------------ #
+    # state construction
+    # ------------------------------------------------------------------ #
+    def initial_state(self) -> NetworkState:
+        """The initial configuration of the network."""
+        variables = dict(self.network.initial_variables)
+        clocks = {name: 0 for name in self._clock_names}
+        return NetworkState(
+            locations=tuple(a.initial_location for a in self.network.automata),
+            clocks=tuple(clocks[name] for name in self._clock_names),
+            variables=tuple(variables[name] for name in self._variable_names),
+            clock_names=self._clock_names,
+            variable_names=self._variable_names,
+            cost=0.0,
+            time=0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # transition enumeration
+    # ------------------------------------------------------------------ #
+    def successors(self, state: NetworkState) -> List[Transition]:
+        """All transitions enabled in ``state`` (actions first, then delay)."""
+        transitions = list(self.action_successors(state))
+        delay = self.delay_successor(state)
+        if delay is not None:
+            transitions.append(delay)
+        return transitions
+
+    def action_successors(self, state: NetworkState) -> Iterator[Transition]:
+        """Enabled action transitions, honouring committed locations."""
+        variables = state.variable_valuation()
+        clocks = state.clock_valuation()
+        committed = self._committed_automata(state)
+
+        # Internal edges.
+        for index, automaton in enumerate(self.network.automata):
+            for edge in automaton.edges_from(state.locations[index]):
+                if edge.sync is not None:
+                    continue
+                if committed and index not in committed:
+                    continue
+                if not edge.guard(variables, clocks):
+                    continue
+                yield self._fire(state, [(index, edge)])
+
+        # Synchronisations.
+        for channel, users in self.network.channels().items():
+            is_broadcast = channel in self.network.broadcast_channels
+            senders = self._enabled_sync_edges(state, variables, clocks, channel, is_send=True)
+            if not senders:
+                continue
+            receivers = self._enabled_sync_edges(state, variables, clocks, channel, is_send=False)
+            for sender_index, sender_edge in senders:
+                if is_broadcast:
+                    yield from self._broadcast_transitions(
+                        state, committed, sender_index, sender_edge, receivers
+                    )
+                else:
+                    for receiver_index, receiver_edge in receivers:
+                        if receiver_index == sender_index:
+                            continue
+                        if committed and sender_index not in committed and receiver_index not in committed:
+                            continue
+                        yield self._fire(
+                            state, [(sender_index, sender_edge), (receiver_index, receiver_edge)]
+                        )
+
+    def delay_successor(self, state: NetworkState) -> Optional[Transition]:
+        """The one-tick delay transition, or ``None`` when delay is blocked."""
+        variables = state.variable_valuation()
+        clocks = state.clock_valuation()
+        cost_rate = 0.0
+        for index, automaton in enumerate(self.network.automata):
+            location = self._locations[(index, state.locations[index])]
+            if location.committed or location.urgent:
+                return None
+            cost_rate += evaluate_cost(location.cost_rate, variables)
+        delayed_clocks = {name: value + 1 for name, value in clocks.items()}
+        for index, automaton in enumerate(self.network.automata):
+            location = self._locations[(index, state.locations[index])]
+            if not location.invariant(variables, delayed_clocks):
+                return None
+        successor = state.with_updates(
+            locations=state.locations,
+            clocks=delayed_clocks,
+            variables=variables,
+            cost=state.cost + cost_rate,
+            time=state.time + 1,
+        )
+        return Transition(label="delay", state=successor, is_delay=True)
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _committed_automata(self, state: NetworkState) -> Tuple[int, ...]:
+        return tuple(
+            index
+            for index in range(len(self.network.automata))
+            if self._locations[(index, state.locations[index])].committed
+        )
+
+    def _enabled_sync_edges(
+        self,
+        state: NetworkState,
+        variables: Dict[str, int],
+        clocks: Dict[str, int],
+        channel: str,
+        is_send: bool,
+    ) -> List[Tuple[int, Edge]]:
+        enabled: List[Tuple[int, Edge]] = []
+        for index, automaton in enumerate(self.network.automata):
+            for edge in automaton.edges_from(state.locations[index]):
+                if edge.sync is None or edge.sync.channel != channel:
+                    continue
+                if edge.sync.is_send != is_send:
+                    continue
+                if edge.guard(variables, clocks):
+                    enabled.append((index, edge))
+        return enabled
+
+    def _broadcast_transitions(
+        self,
+        state: NetworkState,
+        committed: Tuple[int, ...],
+        sender_index: int,
+        sender_edge: Edge,
+        receivers: Sequence[Tuple[int, Edge]],
+    ) -> Iterator[Transition]:
+        """All broadcast firings for one enabled sender."""
+        by_automaton: Dict[int, List[Edge]] = {}
+        for index, edge in receivers:
+            if index != sender_index:
+                by_automaton.setdefault(index, []).append(edge)
+        participant_indices = sorted(by_automaton)
+        if committed:
+            involved = set(participant_indices) | {sender_index}
+            if not involved & set(committed):
+                return
+        choice_lists = [by_automaton[index] for index in participant_indices]
+        combinations = itertools.product(*choice_lists) if choice_lists else [()]
+        for count, combination in enumerate(combinations):
+            if count >= _MAX_BROADCAST_COMBINATIONS:
+                raise RuntimeError(
+                    f"broadcast on channel {sender_edge.sync.channel!r} has too many "
+                    "receiver combinations; simplify the model"
+                )
+            participants = [(sender_index, sender_edge)]
+            participants.extend(zip(participant_indices, combination))
+            yield self._fire(state, participants)
+
+    def _fire(
+        self, state: NetworkState, participants: Sequence[Tuple[int, Edge]]
+    ) -> Transition:
+        """Apply a (multi-)edge firing and build the successor transition."""
+        variables = state.variable_valuation()
+        clocks = state.clock_valuation()
+        locations = list(state.locations)
+        cost = state.cost
+        labels = []
+        for index, edge in participants:
+            edge.update(variables)
+            for clock in edge.clock_resets:
+                clocks[clock] = 0
+            locations[index] = edge.target
+            cost += evaluate_cost(edge.cost, variables)
+            labels.append(edge.label(self.network.automata[index].name))
+        successor = state.with_updates(
+            locations=tuple(locations),
+            clocks=clocks,
+            variables=variables,
+            cost=cost,
+            time=state.time,
+        )
+        return Transition(
+            label=" | ".join(labels),
+            state=successor,
+            is_delay=False,
+            participants=tuple(index for index, _ in participants),
+        )

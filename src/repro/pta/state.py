@@ -1,0 +1,80 @@
+"""Explicit network states.
+
+A state records, for every automaton, its current location, plus the values
+of all clocks, the global variable valuation, the accumulated cost and the
+elapsed time (in ticks).  States are immutable and hashable so that search
+algorithms can deduplicate them; cost and time are excluded from equality
+because two states that differ only in accumulated cost represent the same
+configuration for reachability purposes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkState:
+    """One configuration of a network of priced timed automata.
+
+    Attributes:
+        locations: per-automaton location names (network order).
+        clocks: clock values in ticks, aligned with ``clock_names``.
+        variables: variable values, aligned with ``variable_names``.
+        clock_names: clock name layout (shared tuple).
+        variable_names: variable name layout (shared tuple).
+        cost: accumulated cost along the path that reached this state.
+        time: elapsed time in ticks along that path.
+    """
+
+    locations: Tuple[str, ...]
+    clocks: Tuple[int, ...]
+    variables: Tuple[int, ...]
+    clock_names: Tuple[str, ...]
+    variable_names: Tuple[str, ...]
+    cost: float = 0.0
+    time: int = 0
+
+    def configuration(self) -> Tuple:
+        """The hashable part of the state (without cost and time)."""
+        return (self.locations, self.clocks, self.variables)
+
+    def clock_valuation(self) -> Dict[str, int]:
+        """Clock values as a name-indexed dictionary."""
+        return dict(zip(self.clock_names, self.clocks))
+
+    def variable_valuation(self) -> Dict[str, int]:
+        """Variable values as a name-indexed dictionary."""
+        return dict(zip(self.variable_names, self.variables))
+
+    def value(self, name: str) -> int:
+        """Value of one global variable."""
+        try:
+            index = self.variable_names.index(name)
+        except ValueError:
+            raise KeyError(f"state has no variable named {name!r}") from None
+        return self.variables[index]
+
+    def location_of(self, automaton_name: str, network) -> str:
+        """Location of one automaton (requires the owning network)."""
+        return self.locations[network.automaton_index(automaton_name)]
+
+    def with_updates(
+        self,
+        locations: Tuple[str, ...],
+        clocks: Mapping[str, int],
+        variables: Mapping[str, int],
+        cost: float,
+        time: int,
+    ) -> "NetworkState":
+        """Build a successor state reusing this state's name layout."""
+        return NetworkState(
+            locations=locations,
+            clocks=tuple(clocks[name] for name in self.clock_names),
+            variables=tuple(variables[name] for name in self.variable_names),
+            clock_names=self.clock_names,
+            variable_names=self.variable_names,
+            cost=cost,
+            time=time,
+        )

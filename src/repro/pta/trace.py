@@ -1,0 +1,42 @@
+"""Helpers for inspecting transition traces produced by the engines."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.pta.semantics import Transition
+
+
+def action_names(trace: Sequence[Transition]) -> List[str]:
+    """The labels of the non-delay transitions of a trace, in order."""
+    return [transition.label for transition in trace if not transition.is_delay]
+
+
+def trace_duration(trace: Sequence[Transition]) -> int:
+    """Number of ticks that pass along a trace."""
+    return sum(1 for transition in trace if transition.is_delay)
+
+
+def decisions_in_trace(
+    trace: Sequence[Transition],
+    is_decision: Callable[[Transition], bool],
+) -> List[Tuple[int, Transition]]:
+    """The decision transitions of a trace with the tick at which they fire.
+
+    ``is_decision`` selects the relevant transitions (for the TA-KiBaM these
+    are the scheduler's ``go_on`` synchronisations); the returned tick is
+    the elapsed time when the decision is taken.
+    """
+    decisions: List[Tuple[int, Transition]] = []
+    elapsed = 0
+    for transition in trace:
+        if transition.is_delay:
+            elapsed += 1
+        elif is_decision(transition):
+            decisions.append((elapsed, transition))
+    return decisions
+
+
+def final_state_time(trace: Sequence[Transition]) -> int:
+    """Elapsed ticks at the end of the trace (0 for an empty trace)."""
+    return trace[-1].state.time if trace else 0

@@ -1,0 +1,21 @@
+"""TA-KiBaM: the dKiBaM as a network of priced timed automata (Section 4)."""
+
+from repro.takibam.arrays import LoadArrays, load_arrays
+from repro.takibam.builder import TakibamModel, build_takibam
+from repro.takibam.runner import (
+    takibam_single_battery_lifetime,
+    run_policy_on_takibam,
+    takibam_optimal_schedule,
+    TakibamOptimalResult,
+)
+
+__all__ = [
+    "LoadArrays",
+    "load_arrays",
+    "TakibamModel",
+    "build_takibam",
+    "takibam_single_battery_lifetime",
+    "run_policy_on_takibam",
+    "takibam_optimal_schedule",
+    "TakibamOptimalResult",
+]

@@ -1,0 +1,85 @@
+"""Precomputed arrays of the TA-KiBaM (Table 1 of the paper).
+
+The load is described by three equal-length arrays:
+
+* ``load_time[y]`` -- the tick at which epoch ``y`` ends (absolute time),
+* ``cur[y]`` -- charge units drawn per draw during epoch ``y`` (0 for idle),
+* ``cur_times[y]`` -- ticks between two draws during epoch ``y``,
+
+so that the current of epoch ``y`` is ``cur[y] * Gamma / (cur_times[y] * T)``
+(equation (7)).  The recovery table ``recov_time[m]`` (equation (6)) lives in
+:class:`repro.kibam.discrete.DiscreteKibam` and is reused directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.kibam.discrete import DiscreteKibam
+from repro.workloads.load import Load
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadArrays:
+    """The three load-describing arrays of the TA-KiBaM, plus bookkeeping.
+
+    Attributes:
+        load_time: absolute epoch end times in ticks (strictly increasing).
+        cur: charge units drawn per draw, per epoch (0 during idle epochs).
+        cur_times: ticks between draws, per epoch (1 during idle epochs).
+        currents: the epoch currents in Ampere (for inspection/round trips).
+    """
+
+    load_time: Tuple[int, ...]
+    cur: Tuple[int, ...]
+    cur_times: Tuple[int, ...]
+    currents: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.load_time), len(self.cur), len(self.cur_times), len(self.currents)}
+        if len(lengths) != 1:
+            raise ValueError("all load arrays must have the same length")
+        if any(later <= earlier for earlier, later in zip(self.load_time, self.load_time[1:])):
+            raise ValueError("load_time must be strictly increasing")
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.load_time)
+
+    def epoch_current(self, index: int, charge_unit: float, time_step: float) -> float:
+        """Reconstruct the epoch current (equation (7)) from the arrays."""
+        if self.cur[index] == 0:
+            return 0.0
+        return self.cur[index] * charge_unit / (self.cur_times[index] * time_step)
+
+
+def load_arrays(load: Load, discretizer: DiscreteKibam) -> LoadArrays:
+    """Translate a :class:`~repro.workloads.load.Load` into the TA arrays.
+
+    Every epoch duration must be a whole number of ticks and every job
+    current must be representable as an integer ``(cur, cur_times)`` pair
+    for the discretizer's time step and charge unit.
+    """
+    load_time: List[int] = []
+    cur: List[int] = []
+    cur_times: List[int] = []
+    currents: List[float] = []
+    elapsed_ticks = 0
+    for epoch in load.epochs:
+        elapsed_ticks += discretizer.duration_to_ticks(epoch.duration)
+        load_time.append(elapsed_ticks)
+        currents.append(epoch.current)
+        if epoch.is_idle:
+            cur.append(0)
+            cur_times.append(1)
+        else:
+            spec = discretizer.discharge_spec(epoch.current)
+            cur.append(spec.cur)
+            cur_times.append(spec.cur_times)
+    return LoadArrays(
+        load_time=tuple(load_time),
+        cur=tuple(cur),
+        cur_times=tuple(cur_times),
+        currents=tuple(currents),
+    )

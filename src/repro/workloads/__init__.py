@@ -1,0 +1,48 @@
+"""Workload (load) models: epochs, jobs, idle periods and the paper's test loads."""
+
+from repro.workloads.load import Epoch, Load, job_epoch, idle_epoch
+from repro.workloads.profiles import (
+    LOW_CURRENT,
+    HIGH_CURRENT,
+    JOB_DURATION,
+    SHORT_IDLE,
+    LONG_IDLE,
+    continuous_load,
+    continuous_alternating_load,
+    intermittent_load,
+    intermittent_alternating_load,
+    random_intermittent_load,
+    paper_loads,
+    PAPER_LOAD_NAMES,
+)
+from repro.workloads.generator import (
+    RandomLoadConfig,
+    generate_random_load,
+    bursty_load,
+    duty_cycle_load,
+    sensor_node_load,
+)
+
+__all__ = [
+    "Epoch",
+    "Load",
+    "job_epoch",
+    "idle_epoch",
+    "LOW_CURRENT",
+    "HIGH_CURRENT",
+    "JOB_DURATION",
+    "SHORT_IDLE",
+    "LONG_IDLE",
+    "continuous_load",
+    "continuous_alternating_load",
+    "intermittent_load",
+    "intermittent_alternating_load",
+    "random_intermittent_load",
+    "paper_loads",
+    "PAPER_LOAD_NAMES",
+    "RandomLoadConfig",
+    "generate_random_load",
+    "bursty_load",
+    "duty_cycle_load",
+    "sensor_node_load",
+]

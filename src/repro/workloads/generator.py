@@ -1,0 +1,145 @@
+"""Random and application-shaped workload generators.
+
+Beyond the paper's fixed test loads, the conclusion calls for analysing
+"realistic random loads" and mentions sensor-network nodes with simple
+regular workloads as a target application.  The generators in this module
+cover those cases and are used by the examples and the extension
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Sequence
+
+from repro.workloads.load import Epoch, Load, idle_epoch, job_epoch
+
+
+@dataclasses.dataclass(frozen=True)
+class RandomLoadConfig:
+    """Configuration for :func:`generate_random_load`.
+
+    Attributes:
+        levels: the current levels (Ampere) a job may use.
+        job_duration_range: (min, max) job length in minutes.
+        idle_duration_range: (min, max) idle length in minutes; the maximum
+            may be zero to generate continuous loads.
+        total_duration: approximate total load length in minutes.
+        duration_step: all durations are rounded to a multiple of this value
+            so that discretized models can represent the load exactly.
+    """
+
+    levels: Sequence[float] = (0.250, 0.500)
+    job_duration_range: tuple = (0.5, 2.0)
+    idle_duration_range: tuple = (0.0, 2.0)
+    total_duration: float = 120.0
+    duration_step: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError("levels must not be empty")
+        if any(level <= 0.0 for level in self.levels):
+            raise ValueError("all job current levels must be positive")
+        if self.total_duration <= 0.0:
+            raise ValueError("total_duration must be positive")
+        if self.duration_step <= 0.0:
+            raise ValueError("duration_step must be positive")
+
+
+def _round_to_step(value: float, step: float) -> float:
+    return max(step, round(value / step) * step)
+
+
+def generate_random_load(seed: int, config: Optional[RandomLoadConfig] = None) -> Load:
+    """Generate a random job/idle load according to ``config``."""
+    cfg = config if config is not None else RandomLoadConfig()
+    rng = random.Random(seed)
+    epochs: List[Epoch] = []
+    elapsed = 0.0
+    while elapsed < cfg.total_duration:
+        current = rng.choice(list(cfg.levels))
+        job_duration = _round_to_step(
+            rng.uniform(*cfg.job_duration_range), cfg.duration_step
+        )
+        epochs.append(job_epoch(current, job_duration))
+        elapsed += job_duration
+        idle_low, idle_high = cfg.idle_duration_range
+        if idle_high > 0.0:
+            idle_duration = rng.uniform(idle_low, idle_high)
+            idle_duration = round(idle_duration / cfg.duration_step) * cfg.duration_step
+            if idle_duration > 0.0:
+                epochs.append(idle_epoch(idle_duration))
+                elapsed += idle_duration
+    return Load(name=f"random(seed={seed})", epochs=tuple(epochs))
+
+
+def bursty_load(
+    burst_current: float,
+    burst_jobs: int,
+    rest_duration: float,
+    cycles: int,
+    job_duration: float = 1.0,
+    name: str = "bursty",
+) -> Load:
+    """A load of dense job bursts separated by long rests.
+
+    Bursty loads stress the rate-capacity effect during the burst and give
+    the recovery effect room to act during the rest, which is where battery
+    scheduling pays off most.
+    """
+    if burst_jobs < 1 or cycles < 1:
+        raise ValueError("burst_jobs and cycles must be at least 1")
+    epochs: List[Epoch] = []
+    for _ in range(cycles):
+        for _ in range(burst_jobs):
+            epochs.append(job_epoch(burst_current, job_duration))
+        epochs.append(idle_epoch(rest_duration))
+    return Load(name=name, epochs=tuple(epochs))
+
+
+def duty_cycle_load(
+    current: float,
+    period: float,
+    duty_cycle: float,
+    cycles: int,
+    name: str = "duty-cycle",
+) -> Load:
+    """A periodic on/off load with the given duty cycle (fraction of time on)."""
+    if not 0.0 < duty_cycle < 1.0:
+        raise ValueError("duty_cycle must lie strictly between 0 and 1")
+    if period <= 0.0 or cycles < 1:
+        raise ValueError("period must be positive and cycles at least 1")
+    on_time = period * duty_cycle
+    off_time = period - on_time
+    epochs: List[Epoch] = []
+    for _ in range(cycles):
+        epochs.append(job_epoch(current, on_time))
+        epochs.append(idle_epoch(off_time))
+    return Load(name=name, epochs=tuple(epochs))
+
+
+def sensor_node_load(
+    sense_current: float = 0.020,
+    transmit_current: float = 0.300,
+    sense_duration: float = 0.5,
+    transmit_duration: float = 0.25,
+    sleep_duration: float = 4.0,
+    cycles: int = 100,
+    name: str = "sensor-node",
+) -> Load:
+    """A wireless-sensor-node style workload: sense, transmit, sleep.
+
+    The paper's outlook names sensor-network nodes as a target for battery-
+    aware job scheduling; this load models one measurement round per cycle
+    with a low-current sensing phase, a short high-current radio burst and a
+    long sleep.
+    """
+    if cycles < 1:
+        raise ValueError("cycles must be at least 1")
+    epochs: List[Epoch] = []
+    for _ in range(cycles):
+        epochs.append(job_epoch(sense_current, sense_duration, label="sense"))
+        epochs.append(job_epoch(transmit_current, transmit_duration, label="transmit"))
+        epochs.append(idle_epoch(sleep_duration, label="sleep"))
+    return Load(name=name, epochs=tuple(epochs))

@@ -1,0 +1,180 @@
+"""Load model: a sequence of epochs, each a job or an idle period.
+
+The paper describes a load by three arrays (``load_time``, ``cur_times`` and
+``cur``, Table 1) that partition the timeline into *epochs*.  An epoch with a
+positive current is a *job* and requires a battery to be scheduled for it; an
+epoch with zero current is an *idle period* in which all batteries recover.
+This module provides the object form of that description; the array form
+used by the TA-KiBaM is derived from it in :mod:`repro.takibam.arrays`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+Segment = Tuple[float, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class Epoch:
+    """One epoch of a load: a constant current applied for a duration.
+
+    Attributes:
+        current: discharge current in Ampere; zero for idle periods.
+        duration: epoch length in minutes.
+        label: optional human readable tag (e.g. ``"job-500mA"``).
+    """
+
+    current: float
+    duration: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.current < 0.0:
+            raise ValueError(f"current must be non-negative, got {self.current}")
+        if self.duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    @property
+    def is_job(self) -> bool:
+        """Whether this epoch draws current and therefore needs a battery."""
+        return self.current > 0.0
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.is_job
+
+    @property
+    def charge(self) -> float:
+        """Charge drawn during the epoch, in Amin."""
+        return self.current * self.duration
+
+
+def job_epoch(current: float, duration: float, label: str = "") -> Epoch:
+    """Convenience constructor for a job epoch; current must be positive."""
+    if current <= 0.0:
+        raise ValueError("a job epoch must have a positive current")
+    return Epoch(current=current, duration=duration, label=label or f"job-{current:g}A")
+
+
+def idle_epoch(duration: float, label: str = "idle") -> Epoch:
+    """Convenience constructor for an idle epoch."""
+    return Epoch(current=0.0, duration=duration, label=label)
+
+
+@dataclasses.dataclass(frozen=True)
+class Load:
+    """A named, finite sequence of epochs.
+
+    Loads are finite; experiments build them long enough that the batteries
+    are guaranteed to be exhausted before the load runs out (the helpers in
+    :mod:`repro.workloads.profiles` take a ``total_duration`` argument for
+    this).
+    """
+
+    name: str
+    epochs: Tuple[Epoch, ...]
+
+    def __post_init__(self) -> None:
+        if not self.epochs:
+            raise ValueError("a load must contain at least one epoch")
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    def __iter__(self) -> Iterator[Epoch]:
+        return iter(self.epochs)
+
+    @property
+    def total_duration(self) -> float:
+        """Total length of the load in minutes."""
+        return sum(epoch.duration for epoch in self.epochs)
+
+    @property
+    def total_charge(self) -> float:
+        """Total charge demanded by the load, in Amin."""
+        return sum(epoch.charge for epoch in self.epochs)
+
+    @property
+    def job_count(self) -> int:
+        return sum(1 for epoch in self.epochs if epoch.is_job)
+
+    def jobs(self) -> List[Tuple[int, Epoch]]:
+        """The job epochs with their indices into the epoch sequence."""
+        return [(index, epoch) for index, epoch in enumerate(self.epochs) if epoch.is_job]
+
+    def segments(self) -> List[Segment]:
+        """The load as ``(current, duration)`` pairs for the battery models."""
+        return [(epoch.current, epoch.duration) for epoch in self.epochs]
+
+    def epoch_start_times(self) -> List[float]:
+        """Start time of every epoch, in minutes from system start."""
+        starts: List[float] = []
+        elapsed = 0.0
+        for epoch in self.epochs:
+            starts.append(elapsed)
+            elapsed += epoch.duration
+        return starts
+
+    def epoch_end_times(self) -> List[float]:
+        """End time of every epoch (the paper's ``load_time`` array)."""
+        ends: List[float] = []
+        elapsed = 0.0
+        for epoch in self.epochs:
+            elapsed += epoch.duration
+            ends.append(elapsed)
+        return ends
+
+    def current_at(self, time: float) -> float:
+        """The current demanded at absolute time ``time`` (0 after the load ends)."""
+        if time < 0.0:
+            raise ValueError("time must be non-negative")
+        elapsed = 0.0
+        for epoch in self.epochs:
+            if elapsed <= time < elapsed + epoch.duration:
+                return epoch.current
+            elapsed += epoch.duration
+        return 0.0
+
+    # ------------------------------------------------------------------ #
+    # derived loads
+    # ------------------------------------------------------------------ #
+    def truncated(self, max_duration: float, name: Optional[str] = None) -> "Load":
+        """The prefix of the load lasting at most ``max_duration`` minutes."""
+        if max_duration <= 0.0:
+            raise ValueError("max_duration must be positive")
+        epochs: List[Epoch] = []
+        remaining = max_duration
+        for epoch in self.epochs:
+            if remaining <= 0.0:
+                break
+            duration = min(epoch.duration, remaining)
+            epochs.append(Epoch(current=epoch.current, duration=duration, label=epoch.label))
+            remaining -= duration
+        return Load(name=name or f"{self.name}-trunc", epochs=tuple(epochs))
+
+    def repeated(self, times: int, name: Optional[str] = None) -> "Load":
+        """The load concatenated with itself ``times`` times."""
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        return Load(name=name or f"{self.name}x{times}", epochs=self.epochs * times)
+
+    def scaled_current(self, factor: float, name: Optional[str] = None) -> "Load":
+        """A copy with every current multiplied by ``factor``."""
+        if factor <= 0.0:
+            raise ValueError("factor must be positive")
+        epochs = tuple(
+            Epoch(current=epoch.current * factor, duration=epoch.duration, label=epoch.label)
+            for epoch in self.epochs
+        )
+        return Load(name=name or f"{self.name}-x{factor:g}", epochs=epochs)
+
+    @staticmethod
+    def from_segments(name: str, segments: Sequence[Segment]) -> "Load":
+        """Build a load from raw ``(current, duration)`` pairs."""
+        epochs = tuple(Epoch(current=current, duration=duration) for current, duration in segments)
+        return Load(name=name, epochs=epochs)

@@ -1,0 +1,171 @@
+"""The test loads of the paper (Section 5).
+
+The paper builds ten test loads from two job types -- a low-current job of
+250 mA and a high-current job of 500 mA, both lasting one minute -- in three
+families:
+
+* **CL** (continuous loads): back-to-back jobs with no idle periods
+  (``CL 250``, ``CL 500`` and the alternating ``CL alt``).
+* **ILs** (intermittent, short idles): one minute of idle time between jobs
+  (``ILs 250``, ``ILs 500``, ``ILs alt`` and two random loads ``ILs r1`` /
+  ``ILs r2``).
+* **IL`** (intermittent, long idles): two minutes of idle time between jobs
+  (``IL` 250``, ``IL` 500``).
+
+The paper does not state the job duration explicitly; calibration against
+the single-battery lifetimes of Table 3 (see EXPERIMENTS.md) pins it to one
+minute and shows that the alternating loads start with the high-current job.
+The random job sequences of ``ILs r1``/``ILs r2`` are not published, so this
+module generates seeded random sequences of the same structure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.workloads.load import Epoch, Load, idle_epoch, job_epoch
+
+#: Low-current job level: 250 mA, in Ampere.
+LOW_CURRENT = 0.250
+#: High-current job level: 500 mA, in Ampere.
+HIGH_CURRENT = 0.500
+#: Job duration in minutes (calibrated against Table 3).
+JOB_DURATION = 1.0
+#: Idle period of the ILs loads, in minutes.
+SHORT_IDLE = 1.0
+#: Idle period of the IL` loads, in minutes.
+LONG_IDLE = 2.0
+
+#: Names of the ten test loads, in the order of the paper's tables.
+PAPER_LOAD_NAMES = (
+    "CL 250",
+    "CL 500",
+    "CL alt",
+    "ILs 250",
+    "ILs 500",
+    "ILs alt",
+    "ILs r1",
+    "ILs r2",
+    "IL` 250",
+    "IL` 500",
+)
+
+#: Default length of the generated loads in minutes; long enough that every
+#: experiment in the paper exhausts the batteries before the load runs out.
+DEFAULT_TOTAL_DURATION = 240.0
+
+
+def _fill(name: str, cycle: Sequence[Epoch], total_duration: float) -> Load:
+    """Repeat ``cycle`` until the load covers at least ``total_duration`` minutes."""
+    if total_duration <= 0.0:
+        raise ValueError("total_duration must be positive")
+    cycle_duration = sum(epoch.duration for epoch in cycle)
+    if cycle_duration <= 0.0:
+        raise ValueError("cycle must have positive duration")
+    epochs: List[Epoch] = []
+    elapsed = 0.0
+    while elapsed < total_duration:
+        epochs.extend(cycle)
+        elapsed += cycle_duration
+    return Load(name=name, epochs=tuple(epochs))
+
+
+def continuous_load(
+    current: float,
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    job_duration: float = JOB_DURATION,
+    name: Optional[str] = None,
+) -> Load:
+    """A CL load: back-to-back jobs at a single current level."""
+    label = f"CL {round(current * 1000)}"
+    cycle = [job_epoch(current, job_duration)]
+    return _fill(name or label, cycle, total_duration)
+
+
+def continuous_alternating_load(
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    high: float = HIGH_CURRENT,
+    low: float = LOW_CURRENT,
+    job_duration: float = JOB_DURATION,
+    name: str = "CL alt",
+) -> Load:
+    """The CL alt load: jobs alternating high/low with no idle periods."""
+    cycle = [job_epoch(high, job_duration), job_epoch(low, job_duration)]
+    return _fill(name, cycle, total_duration)
+
+
+def intermittent_load(
+    current: float,
+    idle_duration: float,
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    job_duration: float = JOB_DURATION,
+    name: Optional[str] = None,
+) -> Load:
+    """An ILs / IL` load: jobs at one current level separated by idle periods."""
+    family = "ILs" if idle_duration <= SHORT_IDLE else "IL`"
+    label = f"{family} {round(current * 1000)}"
+    cycle = [job_epoch(current, job_duration), idle_epoch(idle_duration)]
+    return _fill(name or label, cycle, total_duration)
+
+
+def intermittent_alternating_load(
+    idle_duration: float = SHORT_IDLE,
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    high: float = HIGH_CURRENT,
+    low: float = LOW_CURRENT,
+    job_duration: float = JOB_DURATION,
+    name: str = "ILs alt",
+) -> Load:
+    """The ILs alt load: alternating high/low jobs separated by idle periods."""
+    cycle = [
+        job_epoch(high, job_duration),
+        idle_epoch(idle_duration),
+        job_epoch(low, job_duration),
+        idle_epoch(idle_duration),
+    ]
+    return _fill(name, cycle, total_duration)
+
+
+def random_intermittent_load(
+    seed: int,
+    idle_duration: float = SHORT_IDLE,
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    levels: Sequence[float] = (LOW_CURRENT, HIGH_CURRENT),
+    job_duration: float = JOB_DURATION,
+    name: Optional[str] = None,
+) -> Load:
+    """A random ILs load: each job's current is drawn uniformly from ``levels``.
+
+    The paper's loads ``ILs r1`` and ``ILs r2`` are of this form but with an
+    unpublished random sequence; the seed makes our substitutes reproducible.
+    """
+    rng = random.Random(seed)
+    epochs: List[Epoch] = []
+    elapsed = 0.0
+    while elapsed < total_duration:
+        current = rng.choice(list(levels))
+        epochs.append(job_epoch(current, job_duration))
+        epochs.append(idle_epoch(idle_duration))
+        elapsed += job_duration + idle_duration
+    return Load(name=name or f"ILs r(seed={seed})", epochs=tuple(epochs))
+
+
+def paper_loads(
+    total_duration: float = DEFAULT_TOTAL_DURATION,
+    r1_seed: int = 1,
+    r2_seed: int = 2,
+) -> Dict[str, Load]:
+    """All ten test loads of the paper, keyed by their table names."""
+    return {
+        "CL 250": continuous_load(LOW_CURRENT, total_duration, name="CL 250"),
+        "CL 500": continuous_load(HIGH_CURRENT, total_duration, name="CL 500"),
+        "CL alt": continuous_alternating_load(total_duration, name="CL alt"),
+        "ILs 250": intermittent_load(LOW_CURRENT, SHORT_IDLE, total_duration, name="ILs 250"),
+        "ILs 500": intermittent_load(HIGH_CURRENT, SHORT_IDLE, total_duration, name="ILs 500"),
+        "ILs alt": intermittent_alternating_load(SHORT_IDLE, total_duration, name="ILs alt"),
+        "ILs r1": random_intermittent_load(r1_seed, SHORT_IDLE, total_duration, name="ILs r1"),
+        "ILs r2": random_intermittent_load(r2_seed, SHORT_IDLE, total_duration, name="ILs r2"),
+        "IL` 250": intermittent_load(LOW_CURRENT, LONG_IDLE, total_duration, name="IL` 250"),
+        "IL` 500": intermittent_load(HIGH_CURRENT, LONG_IDLE, total_duration, name="IL` 500"),
+    }

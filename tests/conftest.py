@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+The fixtures favour small, fast configurations: a reduced-capacity battery
+and short loads keep the optimal searches and TA-KiBaM explorations cheap,
+while the paper's B1/B2 parameters are used where the tests compare against
+published numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kibam.parameters import B1, B2, BatteryParameters
+from repro.workloads.load import Epoch, Load
+from repro.workloads.profiles import paper_loads
+
+
+@pytest.fixture(scope="session")
+def b1() -> BatteryParameters:
+    return B1
+
+
+@pytest.fixture(scope="session")
+def b2() -> BatteryParameters:
+    return B2
+
+
+@pytest.fixture(scope="session")
+def small_battery() -> BatteryParameters:
+    """A reduced-capacity Itsy cell: same dynamics, much shorter lifetimes."""
+    return BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122, name="small")
+
+
+@pytest.fixture(scope="session")
+def loads() -> dict:
+    """The paper's ten test loads (shared across the session; loads are immutable)."""
+    return paper_loads()
+
+
+@pytest.fixture(scope="session")
+def short_alternating_load() -> Load:
+    """A short ILs-alt style load that exhausts two small batteries quickly."""
+    epochs = []
+    for index in range(20):
+        current = 0.5 if index % 2 == 0 else 0.25
+        epochs.append(Epoch(current=current, duration=1.0))
+        epochs.append(Epoch(current=0.0, duration=1.0))
+    return Load(name="short-ils-alt", epochs=tuple(epochs))
+
+
+@pytest.fixture(scope="session")
+def tiny_load() -> Load:
+    """A very short continuous load used by the TA-KiBaM optimal tests."""
+    epochs = []
+    for _ in range(12):
+        epochs.append(Epoch(current=0.5, duration=1.0))
+        epochs.append(Epoch(current=0.0, duration=1.0))
+    return Load(name="tiny", epochs=tuple(epochs))

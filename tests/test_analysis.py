@@ -1,0 +1,129 @@
+"""Tests for the analysis layer (tables, figures, report rendering)."""
+
+import pytest
+
+from repro.analysis.figures import charge_trace_for_schedule, figure6, residual_charge_summary
+from repro.analysis.report import (
+    render_charge_series_csv,
+    render_figure6_summary,
+    render_schedule_ascii,
+    render_scheduling_table,
+    render_validation_table,
+)
+from repro.analysis.tables import (
+    PAPER_TABLE3,
+    PAPER_TABLE5,
+    scheduling_table,
+    validation_table,
+)
+from repro.core.simulator import simulate_policy
+from repro.kibam.parameters import B1
+from repro.workloads.profiles import paper_loads
+
+
+@pytest.fixture(scope="module")
+def fast_loads():
+    """A subset of the paper loads that keeps the analysis tests quick."""
+    loads = paper_loads()
+    return {name: loads[name] for name in ("CL 500", "ILs alt")}
+
+
+class TestValidationTable:
+    def test_rows_carry_paper_reference_values(self, fast_loads):
+        rows = validation_table(B1, loads=fast_loads, paper_reference=PAPER_TABLE3)
+        by_name = {row.load_name: row for row in rows}
+        assert by_name["CL 500"].paper_analytical == pytest.approx(2.02)
+        assert by_name["CL 500"].paper_discrete == pytest.approx(2.04)
+
+    def test_differences_stay_within_the_paper_band(self, fast_loads):
+        rows = validation_table(B1, loads=fast_loads)
+        for row in rows:
+            assert abs(row.difference_percent) < 1.5
+
+    def test_measured_values_match_the_paper(self, fast_loads):
+        rows = validation_table(B1, loads=fast_loads, paper_reference=PAPER_TABLE3)
+        for row in rows:
+            if row.paper_analytical is not None:
+                assert row.analytical_lifetime == pytest.approx(row.paper_analytical, abs=0.02)
+            if row.paper_discrete is not None:
+                assert row.discrete_lifetime == pytest.approx(row.paper_discrete, abs=0.05)
+
+    def test_rendering_contains_every_load(self, fast_loads):
+        rows = validation_table(B1, loads=fast_loads)
+        text = render_validation_table(rows, "Table 3 subset")
+        for name in fast_loads:
+            assert name in text
+
+
+class TestSchedulingTable:
+    def test_rows_reproduce_the_paper_shape(self, fast_loads):
+        rows = scheduling_table([B1, B1], loads=fast_loads, paper_reference=PAPER_TABLE5)
+        for row in rows:
+            assert row.sequential <= row.round_robin + 1e-9
+            assert row.round_robin <= row.best_of_two + 1e-9
+            assert row.best_of_two <= row.optimal + 1e-9
+            assert row.sequential_diff_percent <= 0.0
+            assert row.optimal_diff_percent >= -1e-9
+
+    def test_values_close_to_table_5(self, fast_loads):
+        rows = scheduling_table([B1, B1], loads=fast_loads, paper_reference=PAPER_TABLE5)
+        for row in rows:
+            paper_seq, paper_rr, paper_best, paper_opt = row.paper_values
+            assert row.sequential == pytest.approx(paper_seq, rel=0.03)
+            assert row.round_robin == pytest.approx(paper_rr, rel=0.03)
+            assert row.best_of_two == pytest.approx(paper_best, rel=0.03)
+            assert row.optimal == pytest.approx(paper_opt, rel=0.03)
+
+    def test_rendering(self, fast_loads):
+        rows = scheduling_table([B1, B1], loads=fast_loads, paper_reference=PAPER_TABLE5)
+        text = render_scheduling_table(rows, "Table 5 subset")
+        assert "ILs alt" in text and "paper" in text
+
+
+class TestFigure6:
+    def test_traces_have_consistent_shapes(self):
+        data = figure6(sample_interval=0.25)
+        for trace in (data.best_of_two, data.optimal):
+            assert len(trace.times) == len(trace.chosen_battery)
+            assert trace.n_batteries == 2
+            for series in trace.total_charge + trace.available_charge:
+                assert len(series) == len(trace.times)
+
+    def test_optimal_trace_outlives_best_of_two(self):
+        data = figure6(sample_interval=0.25)
+        assert data.optimal.lifetime >= data.best_of_two.lifetime - 1e-9
+
+    def test_charge_is_monotone_decreasing_in_total(self):
+        data = figure6(sample_interval=0.25)
+        for series in data.best_of_two.total_charge:
+            assert all(later <= earlier + 1e-9 for earlier, later in zip(series, series[1:]))
+
+    def test_available_charge_recovers_during_idle(self):
+        # The recovery effect is the visual hallmark of Figure 6: available
+        # charge must rise somewhere along the trace.
+        data = figure6(sample_interval=0.1)
+        rises = 0
+        for series in data.best_of_two.available_charge:
+            rises += sum(1 for a, b in zip(series, series[1:]) if b > a + 1e-9)
+        assert rises > 0
+
+    def test_residual_charge_matches_paper_observation(self):
+        # Section 6: roughly 3.9 Amin (~70 % of the 5.5 Amin capacity of one
+        # battery... of the combined 11 Amin about 70 %) remains at death.
+        data = figure6(sample_interval=0.25)
+        summary = residual_charge_summary(data.best_of_two)
+        assert 0.5 < summary["residual_fraction"] < 0.85
+
+    def test_trace_for_arbitrary_schedule(self, loads):
+        result = simulate_policy([B1, B1], loads["CL alt"], "round-robin")
+        trace = charge_trace_for_schedule(
+            [B1, B1], result.schedule, result.lifetime_or_raise(), sample_interval=0.2
+        )
+        assert trace.times[-1] == pytest.approx(result.lifetime_or_raise())
+
+    def test_renderers_produce_text(self):
+        data = figure6(sample_interval=0.5)
+        assert "Figure 6" in render_figure6_summary(data)
+        assert "battery 0" in render_schedule_ascii(data.optimal)
+        csv = render_charge_series_csv(data.best_of_two)
+        assert csv.splitlines()[0].startswith("time_min,total_0")

@@ -1,0 +1,95 @@
+"""Tests for the uniform battery-stepping interface used by the scheduler."""
+
+import pytest
+
+from repro.core.battery import (
+    AnalyticalBattery,
+    DiscreteBattery,
+    LinearBatteryModel,
+    make_battery_models,
+)
+from repro.kibam.lifetime import lifetime_constant_current
+from repro.kibam.parameters import B1
+
+
+class TestAnalyticalBattery:
+    def test_step_without_emptying(self, b1):
+        model = AnalyticalBattery(b1)
+        outcome = model.step(model.initial_state(), 0.25, 1.0)
+        assert not outcome.emptied
+        assert model.total_charge(outcome.state) == pytest.approx(5.25)
+
+    def test_step_detects_empty_instant(self, b1):
+        model = AnalyticalBattery(b1)
+        outcome = model.step(model.initial_state(), 0.5, 10.0)
+        assert outcome.emptied
+        assert outcome.emptied_after == pytest.approx(lifetime_constant_current(b1, 0.5))
+        assert model.is_empty(outcome.state)
+
+    def test_empty_battery_cannot_be_discharged(self, b1):
+        model = AnalyticalBattery(b1)
+        empty = model.step(model.initial_state(), 0.5, 10.0).state
+        with pytest.raises(ValueError):
+            model.step(empty, 0.5, 1.0)
+
+    def test_empty_battery_may_idle(self, b1):
+        model = AnalyticalBattery(b1)
+        empty = model.step(model.initial_state(), 0.5, 10.0).state
+        rested = model.step(empty, 0.0, 5.0).state
+        assert model.is_empty(rested)  # the empty observation is sticky
+
+    def test_views_and_dominance(self, b1):
+        model = AnalyticalBattery(b1)
+        state = model.initial_state()
+        view = model.view(0, state)
+        assert view.available_charge == pytest.approx(b1.available_capacity)
+        better = model.dominance_vector(state)
+        worse = model.dominance_vector(model.step(state, 0.25, 1.0).state)
+        assert all(x >= y for x, y in zip(better, worse))
+
+    def test_kibam_summary_exposed_for_pooling_bound(self, b1):
+        model = AnalyticalBattery(b1)
+        summary = model.kibam_summary(model.initial_state())
+        assert summary == (pytest.approx(5.5), pytest.approx(0.0))
+        assert model.kibam_parameters() == b1
+
+
+class TestDiscreteBatteryModel:
+    def test_step_matches_discrete_kibam_lifetime(self, b1):
+        model = DiscreteBattery(b1)
+        outcome = model.step(model.initial_state(), 0.5, 100.0)
+        assert outcome.emptied
+        assert outcome.emptied_after == pytest.approx(2.04, abs=0.03)
+
+    def test_total_and_available_charge(self, b1):
+        model = DiscreteBattery(b1)
+        state = model.initial_state()
+        assert model.total_charge(state) == pytest.approx(5.5)
+        assert model.available_charge(state) == pytest.approx(b1.available_capacity, abs=1e-9)
+
+    def test_empty_is_sticky(self, b1):
+        model = DiscreteBattery(b1)
+        empty = model.step(model.initial_state(), 0.5, 100.0).state
+        assert model.is_empty(model.step(empty, 0.0, 1.0).state)
+
+
+class TestLinearBatteryModel:
+    def test_step_and_empty_detection(self, b1):
+        model = LinearBatteryModel(b1)
+        outcome = model.step(model.initial_state(), 0.5, 100.0)
+        assert outcome.emptied
+        assert outcome.emptied_after == pytest.approx(11.0)
+
+
+class TestFactory:
+    def test_backend_selection(self, b1):
+        analytical = make_battery_models([b1, b1], backend="analytical")
+        discrete = make_battery_models([b1], backend="discrete")
+        linear = make_battery_models([b1], backend="linear")
+        assert len(analytical) == 2 and analytical[0].backend == "analytical"
+        assert discrete[0].backend == "discrete"
+        assert linear[0].backend == "linear"
+
+    def test_unknown_backend_rejected(self, b1):
+        with pytest.raises(ValueError):
+            make_battery_models([b1], backend="quantum")

@@ -1,0 +1,90 @@
+"""Tests for the linear and diffusion battery models."""
+
+import pytest
+
+from repro.kibam.diffusion import DiffusionBattery
+from repro.kibam.lifetime import lifetime_constant_current
+from repro.kibam.linear import LinearBattery
+from repro.kibam.parameters import B1
+
+
+class TestLinearBattery:
+    def test_constant_current_lifetime(self, b1):
+        battery = LinearBattery(b1)
+        assert battery.lifetime_constant_current(0.25) == pytest.approx(5.5 / 0.25)
+
+    def test_no_rate_capacity_effect(self, b1):
+        battery = LinearBattery(b1)
+        low = 0.25 * battery.lifetime_constant_current(0.25)
+        high = 0.5 * battery.lifetime_constant_current(0.5)
+        assert low == pytest.approx(high) == pytest.approx(b1.capacity)
+
+    def test_linear_lifetime_upper_bounds_kibam(self, b1):
+        assert LinearBattery(b1).lifetime_constant_current(0.5) > lifetime_constant_current(b1, 0.5)
+
+    def test_segment_lifetime(self, b1):
+        battery = LinearBattery(b1)
+        lifetime = battery.lifetime_under_segments([(0.5, 5.0), (0.0, 1.0), (0.5, 100.0)])
+        # 2.5 Amin drawn in the first job, the remaining 3 Amin last 6 more
+        # minutes of load; total elapsed time includes the idle minute.
+        assert lifetime == pytest.approx(5.0 + 1.0 + 3.0 / 0.5)
+
+    def test_survives_short_load(self, b1):
+        assert LinearBattery(b1).lifetime_under_segments([(0.5, 1.0)]) is None
+
+    def test_remaining_after_segments(self, b1):
+        assert LinearBattery(b1).remaining_after_segments([(0.5, 2.0)]) == pytest.approx(4.5)
+
+    def test_rejects_invalid_inputs(self, b1):
+        with pytest.raises(ValueError):
+            LinearBattery(b1).lifetime_constant_current(0.0)
+        with pytest.raises(ValueError):
+            LinearBattery(b1).lifetime_under_segments([(-0.1, 1.0)])
+
+
+class TestDiffusionBattery:
+    def make_battery(self) -> DiffusionBattery:
+        return DiffusionBattery(alpha=5.5, beta=0.6)
+
+    def test_constant_current_lifetime_below_ideal(self):
+        battery = self.make_battery()
+        lifetime = battery.lifetime_constant_current(0.5)
+        assert 0.0 < lifetime < 5.5 / 0.5
+
+    def test_rate_capacity_effect(self):
+        battery = self.make_battery()
+        low = 0.25 * battery.lifetime_constant_current(0.25)
+        high = 0.5 * battery.lifetime_constant_current(0.5)
+        assert high < low
+
+    def test_recovery_effect_extends_lifetime(self):
+        battery = self.make_battery()
+        continuous = battery.lifetime_under_segments([(0.5, 100.0)])
+        intermittent = battery.lifetime_under_segments([(0.5, 1.0), (0.0, 1.0)] * 100)
+        assert continuous is not None and intermittent is not None
+        assert intermittent > continuous
+
+    def test_apparent_charge_increases_with_time_under_load(self):
+        battery = self.make_battery()
+        segments = [(0.5, 10.0)]
+        assert battery.apparent_charge_lost(segments, 2.0) > battery.apparent_charge_lost(
+            segments, 1.0
+        )
+
+    def test_survives_light_load(self):
+        battery = self.make_battery()
+        assert battery.lifetime_under_segments([(0.1, 1.0)]) is None
+
+    def test_exhaustion_predicate_consistent_with_lifetime(self):
+        battery = self.make_battery()
+        lifetime = battery.lifetime_constant_current(0.5)
+        assert battery.is_exhausted([(0.5, 100.0)], lifetime + 0.01)
+        assert not battery.is_exhausted([(0.5, 100.0)], lifetime - 0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            DiffusionBattery(alpha=0.0, beta=0.5)
+        with pytest.raises(ValueError):
+            DiffusionBattery(alpha=1.0, beta=0.0)
+        with pytest.raises(ValueError):
+            DiffusionBattery(alpha=1.0, beta=0.5, terms=0)

@@ -1,0 +1,105 @@
+"""Unit tests for the analytical (transformed-coordinate) KiBaM."""
+
+import math
+
+import pytest
+
+from repro.kibam.analytical import (
+    KibamState,
+    available_charge,
+    bound_charge,
+    initial_state,
+    is_empty,
+    state_of_charge,
+    step_constant_current,
+)
+from repro.kibam.parameters import B1
+from repro.kibam.transformed import from_wells, height_difference, to_wells
+
+
+class TestInitialState:
+    def test_full_battery(self, b1):
+        state = initial_state(b1)
+        assert state.gamma == pytest.approx(b1.capacity)
+        assert state.delta == 0.0
+
+    def test_initial_wells_match_c_split(self, b1):
+        y1, y2 = to_wells(b1, initial_state(b1))
+        assert y1 == pytest.approx(b1.available_capacity)
+        assert y2 == pytest.approx(b1.bound_capacity)
+
+
+class TestStepConstantCurrent:
+    def test_total_charge_decreases_linearly(self, b1):
+        state = step_constant_current(b1, initial_state(b1), current=0.25, duration=2.0)
+        assert state.gamma == pytest.approx(5.5 - 0.5)
+
+    def test_height_difference_follows_closed_form(self, b1):
+        duration = 1.5
+        current = 0.25
+        state = step_constant_current(b1, initial_state(b1), current, duration)
+        delta_inf = current / (b1.c * b1.k_prime)
+        expected = delta_inf * (1.0 - math.exp(-b1.k_prime * duration))
+        assert state.delta == pytest.approx(expected)
+
+    def test_zero_duration_is_identity(self, b1):
+        state = KibamState(gamma=3.0, delta=1.0)
+        assert step_constant_current(b1, state, 0.5, 0.0) == state
+
+    def test_idle_step_decays_height_difference(self, b1):
+        state = KibamState(gamma=3.0, delta=2.0)
+        rested = step_constant_current(b1, state, 0.0, 1.0)
+        assert rested.gamma == pytest.approx(3.0)
+        assert rested.delta == pytest.approx(2.0 * math.exp(-b1.k_prime))
+
+    def test_two_half_steps_equal_one_full_step(self, b1):
+        full = step_constant_current(b1, initial_state(b1), 0.3, 2.0)
+        half = step_constant_current(b1, initial_state(b1), 0.3, 1.0)
+        half = step_constant_current(b1, half, 0.3, 1.0)
+        assert half.gamma == pytest.approx(full.gamma)
+        assert half.delta == pytest.approx(full.delta)
+
+    def test_negative_duration_rejected(self, b1):
+        with pytest.raises(ValueError):
+            step_constant_current(b1, initial_state(b1), 0.1, -1.0)
+
+
+class TestChargeAccessors:
+    def test_available_plus_bound_equals_total(self, b1):
+        state = step_constant_current(b1, initial_state(b1), 0.4, 1.0)
+        assert available_charge(b1, state) + bound_charge(b1, state) == pytest.approx(state.gamma)
+
+    def test_empty_condition_matches_zero_available_charge(self, b1):
+        # Construct the state exactly on the empty boundary gamma = (1-c) delta.
+        delta = 3.0
+        state = KibamState(gamma=(1.0 - b1.c) * delta, delta=delta)
+        assert available_charge(b1, state) == pytest.approx(0.0, abs=1e-12)
+        assert is_empty(b1, state, tolerance=1e-12)
+
+    def test_full_battery_is_not_empty(self, b1):
+        assert not is_empty(b1, initial_state(b1))
+
+    def test_state_of_charge_is_fraction_of_capacity(self, b1):
+        state = step_constant_current(b1, initial_state(b1), 0.25, 2.0)
+        assert state_of_charge(b1, state) == pytest.approx((5.5 - 0.5) / 5.5)
+
+    def test_is_empty_rejects_negative_tolerance(self, b1):
+        with pytest.raises(ValueError):
+            is_empty(b1, initial_state(b1), tolerance=-1.0)
+
+
+class TestCoordinateTransform:
+    def test_round_trip_wells(self, b1):
+        state = KibamState(gamma=4.2, delta=1.7)
+        y1, y2 = to_wells(b1, state)
+        back = from_wells(b1, y1, y2)
+        assert back.gamma == pytest.approx(state.gamma)
+        assert back.delta == pytest.approx(state.delta)
+
+    def test_height_difference_definition(self, b1):
+        y1, y2 = 0.5, 3.0
+        assert height_difference(b1, y1, y2) == pytest.approx(y2 / (1 - b1.c) - y1 / b1.c)
+
+    def test_equal_heights_give_zero_delta(self, b1):
+        # Heights equal when y1/c == y2/(1-c); e.g. the fully charged split.
+        assert height_difference(b1, b1.available_capacity, b1.bound_capacity) == pytest.approx(0.0)

@@ -1,0 +1,153 @@
+"""Tests for the discretized KiBaM (dKiBaM)."""
+
+import math
+
+import pytest
+
+from repro.kibam.discrete import DiscreteKibam, DischargeSpec, recovery_steps_table
+from repro.kibam.lifetime import lifetime_under_segments
+from repro.kibam.parameters import B1
+
+
+class TestDischargeSpec:
+    def test_paper_currents_map_to_small_integers(self, b1):
+        model = DiscreteKibam(b1, time_step=0.01, charge_unit=0.01)
+        assert model.discharge_spec(0.250) == DischargeSpec(cur=1, cur_times=4)
+        assert model.discharge_spec(0.500) == DischargeSpec(cur=1, cur_times=2)
+
+    def test_spec_round_trips_to_current(self, b1):
+        model = DiscreteKibam(b1)
+        spec = model.discharge_spec(0.25)
+        assert spec.current(model.charge_unit, model.time_step) == pytest.approx(0.25)
+
+    def test_idle_spec(self, b1):
+        spec = DiscreteKibam(b1).discharge_spec(0.0)
+        assert spec.is_idle
+
+    def test_unrepresentable_current_is_rejected(self, b1):
+        model = DiscreteKibam(b1, time_step=0.01, charge_unit=0.01)
+        with pytest.raises(ValueError):
+            model.discharge_spec(0.0001237)
+
+    def test_invalid_spec_values_rejected(self):
+        with pytest.raises(ValueError):
+            DischargeSpec(cur=-1, cur_times=1)
+        with pytest.raises(ValueError):
+            DischargeSpec(cur=1, cur_times=0)
+
+
+class TestRecoveryTable:
+    def test_equation_six_values(self, b1):
+        table = recovery_steps_table(b1, time_step=0.01, max_units=10)
+        # For m=2 the time to lose one unit is ln(2)/k' minutes.
+        expected = round(math.log(2.0) / b1.k_prime / 0.01)
+        assert table[2] == expected
+
+    def test_recovery_times_decrease_with_height(self, b1):
+        table = recovery_steps_table(b1, time_step=0.01, max_units=50)
+        assert all(later <= earlier for earlier, later in zip(table[2:-1], table[3:]))
+
+    def test_sentinels_for_low_heights(self, b1):
+        table = recovery_steps_table(b1, time_step=0.01, max_units=5)
+        assert table[0] > 10**15 and table[1] > 10**15
+
+    def test_invalid_arguments(self, b1):
+        with pytest.raises(ValueError):
+            recovery_steps_table(b1, time_step=0.0, max_units=5)
+        with pytest.raises(ValueError):
+            recovery_steps_table(b1, time_step=0.01, max_units=0)
+
+
+class TestDiscreteDynamics:
+    def test_initial_state(self, b1):
+        model = DiscreteKibam(b1)
+        state = model.initial_state()
+        assert state.n == 550
+        assert state.m == 0
+        assert not model.is_empty(state)
+
+    def test_draw_happens_every_cur_times_ticks(self, b1):
+        model = DiscreteKibam(b1)
+        spec = model.discharge_spec(0.5)  # one unit every 2 ticks
+        state = model.initial_state()
+        for _ in range(2):
+            state = model.tick(state, spec)
+        assert state.n == 549
+        assert state.m == 1
+
+    def test_idle_tick_does_not_draw(self, b1):
+        model = DiscreteKibam(b1)
+        state = model.initial_state()
+        state = model.tick(state)
+        assert state.n == model.total_units
+
+    def test_recovery_reduces_height_difference(self, b1):
+        model = DiscreteKibam(b1)
+        spec = model.discharge_spec(0.5)
+        state = model.initial_state()
+        # Draw a few units to raise the height difference above one.
+        for _ in range(8):
+            state = model.tick(state, spec)
+        height_after_load = state.m
+        assert height_after_load >= 2
+        # Rest long enough for at least one recovery step.
+        for _ in range(model.recovery_steps[height_after_load] + 1):
+            state = model.tick(state)
+        assert state.m == height_after_load - 1
+
+    def test_height_difference_never_recovers_below_one(self, b1):
+        model = DiscreteKibam(b1)
+        spec = model.discharge_spec(0.5)
+        state = model.initial_state()
+        for _ in range(2):
+            state = model.tick(state, spec)
+        assert state.m == 1
+        for _ in range(100_000):
+            state = model.tick(state)
+        assert state.m == 1
+
+    def test_empty_state_is_absorbing(self, b1):
+        model = DiscreteKibam(b1)
+        lifetime = model.lifetime_under_segments([(0.5, 100.0)])
+        assert lifetime is not None
+        # Re-run and keep ticking past the empty point: the state stays empty.
+        state, empty_tick = model.run_segment(model.initial_state(), 0.5, 100.0)
+        assert empty_tick is not None and state.empty
+        after = model.tick(state, model.discharge_spec(0.5))
+        assert after == state
+
+    def test_continuous_projection_matches_charge_units(self, b1):
+        model = DiscreteKibam(b1)
+        state = model.initial_state()
+        continuous = model.to_continuous(state)
+        assert continuous.gamma == pytest.approx(b1.capacity)
+        assert model.available_charge(state) == pytest.approx(b1.available_capacity)
+
+    def test_duration_must_be_multiple_of_time_step(self, b1):
+        model = DiscreteKibam(b1, time_step=0.01)
+        with pytest.raises(ValueError):
+            model.duration_to_ticks(0.005)
+
+
+class TestDiscreteVersusAnalytical:
+    @pytest.mark.parametrize("load_name", ["CL 500", "ILs 500", "ILs alt", "IL` 500"])
+    def test_lifetimes_within_one_and_a_half_percent(self, b1, loads, load_name):
+        # Tables 3 and 4 report relative differences of at most about 1 %.
+        segments = loads[load_name].segments()
+        analytical = lifetime_under_segments(b1, segments)
+        discrete = DiscreteKibam(b1).lifetime_under_segments(segments)
+        assert analytical is not None and discrete is not None
+        assert abs(discrete - analytical) / analytical < 0.015
+
+    def test_finer_discretization_reduces_error(self, b1, loads):
+        segments = loads["CL 500"].segments()
+        analytical = lifetime_under_segments(b1, segments)
+        coarse = DiscreteKibam(b1, time_step=0.02, charge_unit=0.05).lifetime_under_segments(segments)
+        fine = DiscreteKibam(b1, time_step=0.005, charge_unit=0.005).lifetime_under_segments(segments)
+        assert analytical is not None and coarse is not None and fine is not None
+        assert abs(fine - analytical) <= abs(coarse - analytical)
+
+    def test_trace_stops_at_empty(self, b1, loads):
+        model = DiscreteKibam(b1)
+        trace = model.trace_under_segments(loads["CL 500"].segments(), sample_every=50)
+        assert trace[-1][1].empty

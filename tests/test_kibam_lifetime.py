@@ -1,0 +1,122 @@
+"""Tests for the analytical lifetime solvers (constant and piecewise loads)."""
+
+import pytest
+
+from repro.kibam.analytical import initial_state, step_constant_current
+from repro.kibam.lifetime import (
+    delivered_charge,
+    gain_over_linear,
+    lifetime_constant_current,
+    lifetime_under_segments,
+    peukert_exponent_estimate,
+    residual_charge_fraction,
+    time_to_empty,
+    trace_under_segments,
+)
+from repro.kibam.parameters import B1, B2
+
+
+class TestConstantCurrentLifetime:
+    def test_paper_cl_250_value(self, b1):
+        # Table 3: CL 250 for B1 is 4.53 minutes.
+        assert lifetime_constant_current(b1, 0.250) == pytest.approx(4.53, abs=0.01)
+
+    def test_paper_cl_500_value(self, b1):
+        assert lifetime_constant_current(b1, 0.500) == pytest.approx(2.02, abs=0.01)
+
+    def test_scaling_capacity_and_current_preserves_lifetime(self, b1):
+        # The KiBaM is linear in charge: B2 at 500 mA behaves like B1 at 250 mA.
+        assert lifetime_constant_current(B2, 0.5) == pytest.approx(
+            lifetime_constant_current(B1, 0.25), rel=1e-9
+        )
+
+    def test_lifetime_decreases_with_current(self, b1):
+        lifetimes = [lifetime_constant_current(b1, current) for current in (0.1, 0.25, 0.5, 0.7)]
+        assert lifetimes == sorted(lifetimes, reverse=True)
+
+    def test_rate_capacity_effect_reduces_delivered_charge(self, b1):
+        # At higher current the battery goes empty having delivered less charge.
+        low = 0.25 * lifetime_constant_current(b1, 0.25)
+        high = 0.5 * lifetime_constant_current(b1, 0.5)
+        assert high < low < b1.capacity
+
+    def test_rejects_non_positive_current(self, b1):
+        with pytest.raises(ValueError):
+            lifetime_constant_current(b1, 0.0)
+
+
+class TestTimeToEmpty:
+    def test_zero_for_already_empty_state(self, b1):
+        state = step_constant_current(b1, initial_state(b1), 0.5, 2.5)
+        # Past the CL 500 lifetime of ~2.02 min the state is beyond empty.
+        assert time_to_empty(b1, state, 0.5) == 0.0
+
+    def test_none_when_horizon_too_short(self, b1):
+        assert time_to_empty(b1, initial_state(b1), 0.25, horizon=1.0) is None
+
+    def test_none_for_idle_battery(self, b1):
+        assert time_to_empty(b1, initial_state(b1), 0.0) is None
+
+    def test_matches_constant_current_lifetime(self, b1):
+        assert time_to_empty(b1, initial_state(b1), 0.25) == pytest.approx(
+            lifetime_constant_current(b1, 0.25)
+        )
+
+
+class TestSegmentLifetime:
+    def test_single_segment_equals_constant_current(self, b1):
+        lifetime = lifetime_under_segments(b1, [(0.25, 100.0)])
+        assert lifetime == pytest.approx(lifetime_constant_current(b1, 0.25))
+
+    def test_recovery_extends_lifetime(self, b1):
+        continuous = lifetime_under_segments(b1, [(0.25, 100.0)])
+        intermittent = lifetime_under_segments(
+            b1, [(0.25, 1.0), (0.0, 1.0)] * 100
+        )
+        assert intermittent is not None and continuous is not None
+        assert intermittent > continuous
+
+    def test_survives_short_load(self, b1):
+        assert lifetime_under_segments(b1, [(0.25, 1.0)]) is None
+
+    def test_paper_ils_250_value(self, b1, loads):
+        lifetime = lifetime_under_segments(b1, loads["ILs 250"].segments())
+        assert lifetime == pytest.approx(10.80, abs=0.02)
+
+    def test_rejects_negative_segment_values(self, b1):
+        with pytest.raises(ValueError):
+            lifetime_under_segments(b1, [(-0.1, 1.0)])
+        with pytest.raises(ValueError):
+            lifetime_under_segments(b1, [(0.1, -1.0)])
+
+
+class TestTraceAndResidual:
+    def test_trace_is_monotone_in_time_and_stops_at_empty(self, b1):
+        samples = trace_under_segments(b1, [(0.5, 10.0)], sample_interval=0.1)
+        times = [time for time, _ in samples]
+        assert times == sorted(times)
+        # CL 500 lifetime is ~2.02 min, so the trace must stop near there.
+        assert times[-1] == pytest.approx(2.1, abs=0.15)
+
+    def test_residual_fraction_matches_paper_observation(self, b1, loads):
+        # Section 6: when a B1 battery is empty a large part of its charge is
+        # still bound (the two-battery figure quotes ~70 %; a single battery
+        # under ILs alt leaves more than half of its charge behind).
+        fraction = residual_charge_fraction(b1, loads["ILs alt"].segments())
+        assert fraction is not None
+        assert 0.4 < fraction < 0.9
+
+    def test_delivered_charge_below_capacity(self, b1, loads):
+        delivered = delivered_charge(b1, loads["CL 500"].segments())
+        assert 0.0 < delivered < b1.capacity
+
+    def test_gain_over_linear_is_at_least_one(self, b1):
+        assert gain_over_linear(b1, 0.25) > 1.0
+
+    def test_peukert_exponent_above_one(self, b1):
+        exponent = peukert_exponent_estimate(b1, 0.25, 0.5)
+        assert exponent > 1.0
+
+    def test_peukert_rejects_bad_current_ordering(self, b1):
+        with pytest.raises(ValueError):
+            peukert_exponent_estimate(b1, 0.5, 0.25)

@@ -1,0 +1,83 @@
+"""Tests for the Monte-Carlo random-load analysis."""
+
+import pytest
+
+from repro.analysis.montecarlo import (
+    LifetimeDistribution,
+    lifetime_distribution,
+    render_distributions,
+)
+from repro.kibam.parameters import BatteryParameters
+from repro.workloads.generator import RandomLoadConfig
+
+SMALL = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122, name="small")
+
+#: A compact configuration so every sampled load exhausts the small batteries
+#: quickly and the whole sweep stays fast.
+FAST_CONFIG = RandomLoadConfig(
+    levels=(0.25, 0.5),
+    job_duration_range=(0.5, 1.0),
+    idle_duration_range=(0.0, 1.0),
+    total_duration=40.0,
+    duration_step=0.25,
+)
+
+
+class TestLifetimeDistribution:
+    def test_summary_statistics(self):
+        dist = LifetimeDistribution.from_samples("demo", [1.0, 2.0, 3.0, 4.0, 5.0])
+        assert dist.samples == 5
+        assert dist.mean == pytest.approx(3.0)
+        assert dist.minimum == 1.0 and dist.maximum == 5.0
+        assert dist.median == pytest.approx(3.0)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            LifetimeDistribution.from_samples("demo", [])
+
+
+class TestMonteCarloSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lifetime_distribution(
+            [SMALL, SMALL], n_samples=8, config=FAST_CONFIG, seed=11
+        )
+
+    def test_every_policy_gets_one_lifetime_per_sample(self, result):
+        for lifetimes in result.per_sample.values():
+            assert len(lifetimes) == result.n_samples
+
+    def test_policy_ordering_holds_in_distribution(self, result):
+        sequential = result.distributions["sequential"]
+        best = result.distributions["best-of-two"]
+        assert sequential.mean <= best.mean + 1e-9
+
+    def test_gain_metric(self, result):
+        gain = result.mean_gain_percent("best-of-two", "sequential")
+        assert gain >= -1e-9
+
+    def test_reproducibility(self):
+        first = lifetime_distribution([SMALL, SMALL], n_samples=3, config=FAST_CONFIG, seed=5)
+        second = lifetime_distribution([SMALL, SMALL], n_samples=3, config=FAST_CONFIG, seed=5)
+        assert first.per_sample == second.per_sample
+
+    def test_optional_optimal_column(self):
+        result = lifetime_distribution(
+            [SMALL, SMALL],
+            n_samples=2,
+            config=FAST_CONFIG,
+            seed=3,
+            include_optimal=True,
+            optimal_max_nodes=500,
+        )
+        assert "optimal" in result.distributions
+        for optimal, best in zip(result.per_sample["optimal"], result.per_sample["best-of-two"]):
+            assert optimal >= best - 1e-6
+
+    def test_rendering(self, result):
+        text = render_distributions(result)
+        assert "best-of-two" in text and "median" in text
+
+    def test_rejects_zero_samples(self):
+        with pytest.raises(ValueError):
+            lifetime_distribution([SMALL], n_samples=0)

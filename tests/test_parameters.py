@@ -1,0 +1,58 @@
+"""Unit tests for the battery parameter sets."""
+
+import pytest
+
+from repro.kibam.parameters import B1, B2, ITSY_LIION, BatteryParameters
+
+
+class TestBatteryParameters:
+    def test_paper_presets_match_section_5(self):
+        assert B1.capacity == pytest.approx(5.5)
+        assert B2.capacity == pytest.approx(11.0)
+        for params in (B1, B2, ITSY_LIION):
+            assert params.c == pytest.approx(0.166)
+            assert params.k_prime == pytest.approx(0.122)
+
+    def test_k_is_consistent_with_k_prime(self):
+        assert B1.k == pytest.approx(B1.k_prime * B1.c * (1 - B1.c))
+
+    def test_well_capacities_sum_to_capacity(self):
+        assert B1.available_capacity + B1.bound_capacity == pytest.approx(B1.capacity)
+        assert B1.available_capacity == pytest.approx(0.166 * 5.5)
+
+    def test_c_permille_used_by_the_ta_guard(self):
+        assert B1.c_permille == 166
+
+    def test_scaled_preserves_dynamics_parameters(self):
+        scaled = B1.scaled(10.0)
+        assert scaled.capacity == pytest.approx(55.0)
+        assert scaled.c == B1.c
+        assert scaled.k_prime == B1.k_prime
+
+    def test_steady_state_height_difference(self):
+        # delta_inf = I / (c * k'); at 250 mA this is about 12.34 Amin.
+        assert B1.steady_state_height_difference(0.25) == pytest.approx(
+            0.25 / (0.166 * 0.122)
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity": 0.0, "c": 0.5, "k_prime": 0.1},
+            {"capacity": -1.0, "c": 0.5, "k_prime": 0.1},
+            {"capacity": 1.0, "c": 0.0, "k_prime": 0.1},
+            {"capacity": 1.0, "c": 1.0, "k_prime": 0.1},
+            {"capacity": 1.0, "c": 0.5, "k_prime": 0.0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BatteryParameters(**kwargs)
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            B1.scaled(0.0)
+
+    def test_parameters_are_immutable(self):
+        with pytest.raises(Exception):
+            B1.capacity = 1.0  # type: ignore[misc]

@@ -1,0 +1,132 @@
+"""Tests for the scheduling policies."""
+
+import pytest
+
+from repro.core.battery import BatteryView
+from repro.core.policies import (
+    BestOfTwoPolicy,
+    DecisionContext,
+    FixedAssignmentPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SequentialPolicy,
+    WorstOfTwoPolicy,
+    make_policy,
+)
+
+
+def make_context(available, empty=None, previous=None, is_switchover=False):
+    """Build a decision context from per-battery available-charge values."""
+    empty = empty or [False] * len(available)
+    views = [
+        BatteryView(index=i, available_charge=a, total_charge=a + 1.0, is_empty=e)
+        for i, (a, e) in enumerate(zip(available, empty))
+    ]
+    return DecisionContext(
+        time=0.0,
+        epoch_index=0,
+        job_index=0,
+        current=0.5,
+        remaining_duration=1.0,
+        views=views,
+        is_switchover=is_switchover,
+        previous_choice=previous,
+    )
+
+
+class TestSequentialPolicy:
+    def test_always_picks_lowest_alive_index(self):
+        policy = SequentialPolicy()
+        assert policy.choose(make_context([1.0, 2.0])) == 0
+        assert policy.choose(make_context([1.0, 2.0], empty=[True, False])) == 1
+
+    def test_raises_when_everything_is_empty(self):
+        with pytest.raises(ValueError):
+            SequentialPolicy().choose(make_context([0.0, 0.0], empty=[True, True]))
+
+
+class TestRoundRobinPolicy:
+    def test_cycles_through_batteries(self):
+        policy = RoundRobinPolicy()
+        policy.reset(3)
+        choices = [policy.choose(make_context([1.0, 1.0, 1.0])) for _ in range(6)]
+        assert choices == [0, 1, 2, 0, 1, 2]
+
+    def test_skips_empty_batteries(self):
+        policy = RoundRobinPolicy()
+        policy.reset(3)
+        assert policy.choose(make_context([1.0, 1.0, 1.0])) == 0
+        assert policy.choose(make_context([1.0, 1.0, 1.0], empty=[False, True, False])) == 2
+
+    def test_reset_restarts_the_cycle(self):
+        policy = RoundRobinPolicy()
+        policy.reset(2)
+        assert policy.choose(make_context([1.0, 1.0])) == 0
+        policy.reset(2)
+        assert policy.choose(make_context([1.0, 1.0])) == 0
+
+
+class TestBestOfTwoPolicy:
+    def test_picks_highest_available_charge(self):
+        assert BestOfTwoPolicy().choose(make_context([0.3, 0.8])) == 1
+
+    def test_ties_alternate_away_from_previous_choice(self):
+        policy = BestOfTwoPolicy()
+        assert policy.choose(make_context([0.5, 0.5], previous=0)) == 1
+        assert policy.choose(make_context([0.5, 0.5], previous=1)) == 0
+
+    def test_ignores_empty_batteries(self):
+        assert BestOfTwoPolicy().choose(make_context([0.9, 0.1], empty=[True, False])) == 1
+
+
+class TestWorstOfTwoPolicy:
+    def test_picks_lowest_available_charge(self):
+        assert WorstOfTwoPolicy().choose(make_context([0.3, 0.8])) == 0
+
+
+class TestRandomPolicy:
+    def test_seeded_reproducibility(self):
+        first = RandomPolicy(seed=5)
+        second = RandomPolicy(seed=5)
+        first.reset(2)
+        second.reset(2)
+        context = make_context([1.0, 1.0])
+        assert [first.choose(context) for _ in range(10)] == [
+            second.choose(context) for _ in range(10)
+        ]
+
+    def test_only_chooses_alive_batteries(self):
+        policy = RandomPolicy(seed=0)
+        policy.reset(3)
+        context = make_context([1.0, 1.0, 1.0], empty=[True, False, True])
+        assert all(policy.choose(context) == 1 for _ in range(5))
+
+
+class TestFixedAssignmentPolicy:
+    def test_replays_the_assignment(self):
+        policy = FixedAssignmentPolicy([1, 0, 1])
+        policy.reset(2)
+        context = make_context([1.0, 1.0])
+        assert [policy.choose(context) for _ in range(3)] == [1, 0, 1]
+
+    def test_falls_back_to_best_available_after_the_assignment(self):
+        policy = FixedAssignmentPolicy([0])
+        policy.reset(2)
+        policy.choose(make_context([1.0, 1.0]))
+        assert policy.choose(make_context([0.2, 0.9])) == 1
+
+    def test_rejects_replaying_onto_an_empty_battery(self):
+        policy = FixedAssignmentPolicy([0])
+        policy.reset(2)
+        with pytest.raises(ValueError):
+            policy.choose(make_context([0.0, 1.0], empty=[True, False]))
+
+
+class TestRegistry:
+    def test_known_policies(self):
+        for name in ("sequential", "round-robin", "best-of-two", "worst-of-two"):
+            assert make_policy(name).name == name
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("does-not-exist")

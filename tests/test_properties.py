@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+import pytest
+
+from repro.core.optimal import find_optimal_schedule
+from repro.core.simulator import simulate_policy
+from repro.kibam.analytical import (
+    KibamState,
+    available_charge,
+    initial_state,
+    step_constant_current,
+)
+from repro.kibam.discrete import DiscreteKibam
+from repro.kibam.lifetime import lifetime_constant_current, lifetime_under_segments
+from repro.kibam.parameters import BatteryParameters
+from repro.kibam.transformed import from_wells, to_wells
+from repro.workloads.load import Epoch, Load
+
+#: Strategy for physically plausible battery parameters.
+battery_parameters = st.builds(
+    BatteryParameters,
+    capacity=st.floats(min_value=0.5, max_value=20.0),
+    c=st.floats(min_value=0.05, max_value=0.95),
+    k_prime=st.floats(min_value=0.01, max_value=2.0),
+)
+
+currents = st.floats(min_value=0.01, max_value=1.0)
+durations = st.floats(min_value=0.0, max_value=10.0)
+
+
+@st.composite
+def short_loads(draw):
+    """Small random job/idle loads with representable durations."""
+    n_epochs = draw(st.integers(min_value=1, max_value=8))
+    epochs = []
+    for _ in range(n_epochs):
+        current = draw(st.sampled_from([0.0, 0.25, 0.5]))
+        duration = draw(st.sampled_from([0.5, 1.0, 2.0]))
+        if current == 0.0:
+            epochs.append(Epoch(current=0.0, duration=duration))
+        else:
+            epochs.append(Epoch(current=current, duration=duration))
+    return Load(name="hypothesis", epochs=tuple(epochs))
+
+
+class TestKibamStateProperties:
+    @given(params=battery_parameters, current=currents, duration=durations)
+    @settings(max_examples=80, deadline=None)
+    def test_total_charge_conservation(self, params, current, duration):
+        state = step_constant_current(params, initial_state(params), current, duration)
+        assert state.gamma == pytest.approx(params.capacity - current * duration, rel=1e-9, abs=1e-9)
+
+    @given(params=battery_parameters, current=currents, duration=st.floats(min_value=0.01, max_value=10.0))
+    @settings(max_examples=80, deadline=None)
+    def test_height_difference_stays_below_steady_state(self, params, current, duration):
+        state = step_constant_current(params, initial_state(params), current, duration)
+        assert -1e-9 <= state.delta <= params.steady_state_height_difference(current) + 1e-9
+
+    @given(params=battery_parameters, gamma=st.floats(0.1, 10.0), delta=st.floats(0.0, 5.0))
+    @settings(max_examples=80, deadline=None)
+    def test_well_transform_round_trip(self, params, gamma, delta):
+        state = KibamState(gamma=gamma, delta=delta)
+        y1, y2 = to_wells(params, state)
+        back = from_wells(params, y1, y2)
+        assert back.gamma == pytest.approx(gamma, rel=1e-9, abs=1e-9)
+        assert back.delta == pytest.approx(delta, rel=1e-9, abs=1e-9)
+
+    @given(params=battery_parameters, delta=st.floats(0.0, 5.0), duration=st.floats(0.0, 20.0))
+    @settings(max_examples=80, deadline=None)
+    def test_idle_recovery_never_increases_height_difference(self, params, delta, duration):
+        state = KibamState(gamma=params.capacity, delta=delta)
+        rested = step_constant_current(params, state, 0.0, duration)
+        assert rested.delta <= delta + 1e-12
+        assert available_charge(params, rested) >= available_charge(params, state) - 1e-9
+
+
+class TestLifetimeProperties:
+    @given(params=battery_parameters, low=currents, high=currents)
+    @settings(max_examples=60, deadline=None)
+    def test_lifetime_is_monotone_in_current(self, params, low, high):
+        if math.isclose(low, high):
+            return
+        low, high = min(low, high), max(low, high)
+        assert lifetime_constant_current(params, low) >= lifetime_constant_current(params, high)
+
+    @given(params=battery_parameters, current=currents)
+    @settings(max_examples=60, deadline=None)
+    def test_kibam_never_beats_the_ideal_battery(self, params, current):
+        assert lifetime_constant_current(params, current) <= params.capacity / current + 1e-9
+
+    @given(load=short_loads())
+    @settings(max_examples=40, deadline=None)
+    def test_discrete_model_tracks_the_analytical_model(self, load):
+        params = BatteryParameters(capacity=2.0, c=0.166, k_prime=0.122)
+        analytical = lifetime_under_segments(params, load.segments())
+        discrete = DiscreteKibam(params, time_step=0.01, charge_unit=0.01).lifetime_under_segments(
+            load.segments()
+        )
+        if analytical is None:
+            assert discrete is None or discrete >= load.total_duration - 0.05
+        elif analytical > load.total_duration - 0.1:
+            # The analytical crossing sits on the very edge of the load; the
+            # slightly longer-lived discrete model may survive it, which is
+            # not a meaningful discrepancy.
+            return
+        else:
+            assert discrete is not None
+            assert discrete == pytest.approx(analytical, rel=0.03, abs=0.05)
+
+
+class TestSchedulingProperties:
+    @given(load=short_loads(), seed=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_policy_hierarchy_and_pooling_bound(self, load, seed):
+        """sequential <= best-of-two <= optimal <= pooled single battery.
+
+        The optimal search is capped (node budget + merge tolerance) to keep
+        the property test cheap; the inequalities hold for capped searches
+        too because the incumbent already includes best-of-two and any found
+        schedule respects the pooling bound.
+        """
+        params = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122)
+        if load.job_count == 0:
+            return
+        # Extend the load so that the batteries are exhausted.
+        long_load = load.repeated(20)
+        sequential = simulate_policy([params, params], long_load, "sequential")
+        best = simulate_policy([params, params], long_load, "best-of-two")
+        if sequential.survived or best.survived:
+            return
+        optimal = find_optimal_schedule(
+            [params, params], long_load, dominance_tolerance=0.01, max_nodes=2000
+        )
+        pooled = lifetime_under_segments(params.scaled(2.0), long_load.segments())
+        assert sequential.lifetime <= best.lifetime + 1e-6
+        assert best.lifetime <= optimal.lifetime + 1e-6
+        assert pooled is None or optimal.lifetime <= pooled + 1e-6
+
+    @given(load=short_loads())
+    @settings(max_examples=20, deadline=None)
+    def test_schedule_segments_cover_the_lifetime(self, load):
+        params = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122)
+        if load.job_count == 0:
+            return
+        long_load = load.repeated(20)
+        result = simulate_policy([params, params], long_load, "round-robin")
+        if result.survived:
+            return
+        for segments in result.schedule.per_battery_segments(horizon=result.lifetime):
+            assert sum(duration for _, duration in segments) == pytest.approx(result.lifetime)

@@ -1,0 +1,226 @@
+"""Tests for the priced timed automata substrate."""
+
+import pytest
+
+from repro.pta.automaton import Automaton, Edge, Location, Sync, evaluate_cost
+from repro.pta.examples import automatic_lamp_network, lamp_network
+from repro.pta.mcr import minimum_cost_reachability, reachable, run_deterministic
+from repro.pta.network import Network
+from repro.pta.semantics import NetworkSemantics
+from repro.pta.trace import action_names, decisions_in_trace, trace_duration
+
+
+def counter_automaton(limit: int) -> Automaton:
+    """A single automaton that increments a variable every 2 ticks."""
+
+    def bump(variables):
+        variables["count"] += 1
+
+    return Automaton(
+        name="counter",
+        locations=(
+            Location(name="run", invariant=lambda v, c: c["x"] <= 2, cost_rate=1),
+            Location(name="stop"),
+        ),
+        initial_location="run",
+        clocks=("x",),
+        edges=(
+            Edge(
+                source="run",
+                target="run",
+                guard=lambda v, c: c["x"] >= 2 and v["count"] < limit,
+                update=bump,
+                clock_resets=("x",),
+                name="tick",
+            ),
+            Edge(
+                source="run",
+                target="stop",
+                guard=lambda v, c: v["count"] >= limit,
+                name="finish",
+            ),
+        ),
+    )
+
+
+class TestAutomatonConstruction:
+    def test_duplicate_locations_rejected(self):
+        with pytest.raises(ValueError):
+            Automaton(
+                name="bad",
+                locations=(Location(name="a"), Location(name="a")),
+                initial_location="a",
+            )
+
+    def test_unknown_initial_location_rejected(self):
+        with pytest.raises(ValueError):
+            Automaton(name="bad", locations=(Location(name="a"),), initial_location="b")
+
+    def test_edge_with_unknown_location_rejected(self):
+        with pytest.raises(ValueError):
+            Automaton(
+                name="bad",
+                locations=(Location(name="a"),),
+                initial_location="a",
+                edges=(Edge(source="a", target="zzz"),),
+            )
+
+    def test_edge_resetting_foreign_clock_rejected(self):
+        with pytest.raises(ValueError):
+            Automaton(
+                name="bad",
+                locations=(Location(name="a"),),
+                initial_location="a",
+                clocks=(),
+                edges=(Edge(source="a", target="a", clock_resets=("y",)),),
+            )
+
+    def test_evaluate_cost_accepts_constants_and_callables(self):
+        assert evaluate_cost(3, {}) == 3.0
+        assert evaluate_cost(lambda v: v["x"] * 2, {"x": 4}) == 8.0
+
+    def test_sync_labels(self):
+        assert str(Sync.send("a")) == "a!"
+        assert str(Sync.receive("a")) == "a?"
+
+
+class TestNetworkValidation:
+    def test_duplicate_automaton_names_rejected(self):
+        automaton = counter_automaton(1)
+        with pytest.raises(ValueError):
+            Network(automata=(automaton, automaton), initial_variables={"count": 0})
+
+    def test_duplicate_clock_names_rejected(self):
+        first = counter_automaton(1)
+        second = Automaton(
+            name="other",
+            locations=(Location(name="a"),),
+            initial_location="a",
+            clocks=("x",),
+        )
+        with pytest.raises(ValueError):
+            Network(automata=(first, second), initial_variables={"count": 0})
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network(automata=(), initial_variables={})
+
+
+class TestSemantics:
+    def test_delay_advances_clocks_and_cost(self):
+        network = Network(automata=(counter_automaton(3),), initial_variables={"count": 0})
+        semantics = NetworkSemantics(network)
+        state = semantics.initial_state()
+        delay = semantics.delay_successor(state)
+        assert delay is not None
+        assert delay.state.time == 1
+        assert delay.state.cost == pytest.approx(1.0)  # cost rate 1 in "run"
+        assert delay.state.clock_valuation()["x"] == 1
+
+    def test_invariant_blocks_delay(self):
+        network = Network(automata=(counter_automaton(3),), initial_variables={"count": 0})
+        semantics = NetworkSemantics(network)
+        state = semantics.initial_state()
+        for _ in range(2):
+            state = semantics.delay_successor(state).state
+        assert semantics.delay_successor(state) is None  # invariant x <= 2
+
+    def test_guarded_edge_fires_and_updates(self):
+        network = Network(automata=(counter_automaton(3),), initial_variables={"count": 0})
+        semantics = NetworkSemantics(network)
+        state = semantics.initial_state()
+        for _ in range(2):
+            state = semantics.delay_successor(state).state
+        actions = list(semantics.action_successors(state))
+        assert len(actions) == 1
+        fired = actions[0].state
+        assert fired.value("count") == 1
+        assert fired.clock_valuation()["x"] == 0
+
+    def test_committed_location_blocks_delay(self):
+        automaton = Automaton(
+            name="committed",
+            locations=(Location(name="a", committed=True), Location(name="b")),
+            initial_location="a",
+            edges=(Edge(source="a", target="b"),),
+        )
+        semantics = NetworkSemantics(Network(automata=(automaton,), initial_variables={}))
+        assert semantics.delay_successor(semantics.initial_state()) is None
+
+    def test_binary_sync_requires_both_parties(self):
+        network = lamp_network(presses=1, press_period=2)
+        semantics = NetworkSemantics(network)
+        state = semantics.initial_state()
+        # Before the user is ready (clock u < 2) no action is possible.
+        assert list(semantics.action_successors(state)) == []
+        state = semantics.delay_successor(state).state
+        state = semantics.delay_successor(state).state
+        labels = [transition.label for transition in semantics.action_successors(state)]
+        assert any("press" in label for label in labels)
+
+    def test_broadcast_send_fires_without_receivers(self):
+        # With three presses the last one arrives while the lamp is in
+        # "bright", which has no receiving edge: the broadcast must still be
+        # able to fire (Section 3.1), so all presses can be used up.
+        network = automatic_lamp_network(presses=3, press_period=2)
+        semantics = NetworkSemantics(network)
+        goal = lambda state: state.value("presses_left") == 0
+        result = reachable(semantics, goal, max_states=20_000)
+        assert result.found
+
+
+class TestReachabilityEngines:
+    def test_lamp_reaches_bright_when_pressed_quickly(self):
+        network = lamp_network(presses=2, press_period=2)
+        semantics = NetworkSemantics(network)
+        lamp_index = network.automaton_index("lamp")
+        result = reachable(semantics, lambda s: s.locations[lamp_index] == "bright")
+        assert result.found
+        assert trace_duration(result.trace) >= 4
+
+    def test_lamp_cannot_reach_bright_with_slow_presses(self):
+        # With 6 ticks between presses the y < 5 guard towards "bright" can
+        # never be satisfied.  The explicit state space is unbounded in the
+        # clock values, so the search is capped; the goal must not be found
+        # within a budget that far exceeds the three presses.
+        network = lamp_network(presses=3, press_period=6)
+        semantics = NetworkSemantics(network)
+        lamp_index = network.automaton_index("lamp")
+        result = reachable(semantics, lambda s: s.locations[lamp_index] == "bright", max_states=5000)
+        assert not result.found
+
+    def test_minimum_cost_reachability_finds_cheapest_path(self):
+        # The automatic lamp: reaching "bright" costs the switch-on cost plus
+        # at least one tick of rate-10 burning; the optimum presses again as
+        # soon as possible (after press_period ticks in "low").
+        network = automatic_lamp_network(switch_on_cost=50, presses=2, press_period=2)
+        semantics = NetworkSemantics(network)
+        lamp_index = network.automaton_index("lamp")
+        result = minimum_cost_reachability(
+            semantics, lambda s: s.locations[lamp_index] == "bright", max_states=20_000
+        )
+        assert result.found
+        assert result.cost == pytest.approx(50 + 2 * 10)
+
+    def test_mcr_respects_state_budget(self):
+        network = lamp_network(presses=3, press_period=2)
+        semantics = NetworkSemantics(network)
+        result = minimum_cost_reachability(semantics, lambda s: False, max_states=10)
+        assert not result.found and result.truncated
+
+    def test_deterministic_run_with_chooser(self):
+        network = Network(automata=(counter_automaton(4),), initial_variables={"count": 0})
+        semantics = NetworkSemantics(network)
+        result = run_deterministic(semantics, lambda s: s.value("count") >= 4)
+        assert result.found
+        assert result.goal_state.value("count") == 4
+        assert trace_duration(result.trace) == 8  # 2 ticks per increment
+
+    def test_trace_helpers(self):
+        network = Network(automata=(counter_automaton(2),), initial_variables={"count": 0})
+        semantics = NetworkSemantics(network)
+        result = run_deterministic(semantics, lambda s: s.value("count") >= 2)
+        names = action_names(result.trace)
+        assert names.count("counter.tick") == 2
+        decisions = decisions_in_trace(result.trace, lambda t: "tick" in t.label)
+        assert [tick for tick, _ in decisions] == [2, 4]

@@ -1,0 +1,129 @@
+"""Tests for the multi-battery simulator and the schedule data structures."""
+
+import pytest
+
+from repro.core.policies import BestOfTwoPolicy, SequentialPolicy
+from repro.core.schedule import relative_difference
+from repro.core.simulator import MultiBatterySimulator, simulate_policy
+from repro.core.battery import make_battery_models
+from repro.kibam.lifetime import lifetime_under_segments
+from repro.kibam.parameters import B1
+from repro.workloads.load import Epoch, Load
+
+
+class TestSingleBatterySimulation:
+    def test_single_battery_matches_lifetime_solver(self, b1, loads):
+        load = loads["ILs 500"]
+        result = simulate_policy([b1], load, "sequential")
+        assert result.lifetime == pytest.approx(
+            lifetime_under_segments(b1, load.segments()), abs=1e-9
+        )
+
+    def test_survival_when_the_load_is_light(self, b1):
+        light = Load(name="light", epochs=(Epoch(current=0.1, duration=1.0),))
+        result = simulate_policy([b1], light, "sequential")
+        assert result.survived
+        with pytest.raises(RuntimeError):
+            result.lifetime_or_raise()
+
+
+class TestTwoBatterySimulation:
+    def test_sequential_uses_batteries_in_order(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["CL 500"], "sequential")
+        batteries_in_order = [
+            entry.battery for entry in result.schedule.serving_entries()
+        ]
+        first_use_of_second = batteries_in_order.index(1)
+        assert all(battery == 0 for battery in batteries_in_order[:first_use_of_second])
+        assert all(battery == 1 for battery in batteries_in_order[first_use_of_second:])
+
+    def test_round_robin_alternates(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["ILs 500"], "round-robin")
+        jobs = result.schedule.job_assignments()
+        first_six = [jobs[index][0] for index in range(6)]
+        assert first_six == [0, 1, 0, 1, 0, 1]
+
+    def test_policy_ordering_matches_the_paper(self, b1, loads):
+        # Table 5: sequential <= round robin <= best-of-two <= optimal.
+        load = loads["ILs alt"]
+        sequential = simulate_policy([b1, b1], load, "sequential").lifetime_or_raise()
+        round_robin = simulate_policy([b1, b1], load, "round-robin").lifetime_or_raise()
+        best = simulate_policy([b1, b1], load, "best-of-two").lifetime_or_raise()
+        assert sequential <= round_robin <= best
+
+    def test_two_batteries_outlive_one(self, b1, loads):
+        load = loads["CL 500"]
+        one = simulate_policy([b1], load, "sequential").lifetime_or_raise()
+        two = simulate_policy([b1, b1], load, "best-of-two").lifetime_or_raise()
+        assert two > one
+
+    def test_switchover_happens_mid_job(self, b1):
+        # A single very long job: the first battery dies mid-job and the
+        # second must take over at that instant.
+        load = Load(name="marathon", epochs=(Epoch(current=0.5, duration=100.0),))
+        result = simulate_policy([b1, b1], load, "sequential")
+        serving = result.schedule.serving_entries()
+        assert len(serving) == 2
+        assert serving[1].switchover
+        assert serving[0].end_time == pytest.approx(serving[1].start_time)
+        assert result.lifetime_or_raise() == pytest.approx(serving[1].end_time)
+
+    def test_discrete_backend_close_to_analytical(self, b1, loads):
+        load = loads["ILs alt"]
+        analytical = simulate_policy([b1, b1], load, "best-of-two").lifetime_or_raise()
+        discrete = simulate_policy(
+            [b1, b1], load, "best-of-two", backend="discrete"
+        ).lifetime_or_raise()
+        assert discrete == pytest.approx(analytical, rel=0.02)
+
+    def test_decisions_are_counted(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["ILs 500"], "round-robin")
+        assert result.decisions >= result.schedule.switch_count()
+
+    def test_residual_charge_is_positive_at_death(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["CL 500"], "best-of-two")
+        assert 0.0 < result.residual_charge < 2 * b1.capacity
+
+
+class TestScheduleStructure:
+    def test_per_battery_segments_cover_the_horizon(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["ILs alt"], "best-of-two")
+        horizon = result.lifetime_or_raise()
+        for segments in result.schedule.per_battery_segments(horizon=horizon):
+            assert sum(duration for _, duration in segments) == pytest.approx(horizon)
+
+    def test_job_assignments_and_usage(self, b1, loads):
+        result = simulate_policy([b1, b1], loads["ILs 500"], "round-robin")
+        schedule = result.schedule
+        total_serving = sum(entry.duration for entry in schedule.serving_entries())
+        assert schedule.battery_usage(0) + schedule.battery_usage(1) == pytest.approx(
+            total_serving
+        )
+
+    def test_relative_difference_helper(self):
+        assert relative_difference(11.0, 10.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            relative_difference(1.0, 0.0)
+
+
+class TestSimulatorValidation:
+    def test_requires_at_least_one_battery(self):
+        with pytest.raises(ValueError):
+            MultiBatterySimulator([])
+
+    def test_policy_choosing_dead_battery_is_rejected(self, b1):
+        class BadPolicy(SequentialPolicy):
+            name = "bad"
+
+            def choose(self, context):
+                return 0  # insists on battery 0 even when it is empty
+
+        load = Load(name="long", epochs=(Epoch(current=0.5, duration=100.0),))
+        models = make_battery_models([b1, b1])
+        with pytest.raises(ValueError):
+            MultiBatterySimulator(models).run(load, BadPolicy())
+
+    def test_policy_instance_and_name_give_same_result(self, b1, loads):
+        by_name = simulate_policy([b1, b1], loads["ILs alt"], "best-of-two")
+        by_instance = simulate_policy([b1, b1], loads["ILs alt"], BestOfTwoPolicy())
+        assert by_name.lifetime == pytest.approx(by_instance.lifetime)

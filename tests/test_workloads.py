@@ -1,0 +1,176 @@
+"""Tests for the load model, the paper's test loads and the generators."""
+
+import pytest
+
+from repro.workloads.generator import (
+    RandomLoadConfig,
+    bursty_load,
+    duty_cycle_load,
+    generate_random_load,
+    sensor_node_load,
+)
+from repro.workloads.load import Epoch, Load, idle_epoch, job_epoch
+from repro.workloads.profiles import (
+    HIGH_CURRENT,
+    JOB_DURATION,
+    LOW_CURRENT,
+    PAPER_LOAD_NAMES,
+    continuous_alternating_load,
+    intermittent_load,
+    paper_loads,
+    random_intermittent_load,
+)
+
+
+class TestEpoch:
+    def test_job_and_idle_classification(self):
+        assert job_epoch(0.25, 1.0).is_job
+        assert idle_epoch(1.0).is_idle
+
+    def test_charge(self):
+        assert job_epoch(0.5, 2.0).charge == pytest.approx(1.0)
+
+    def test_invalid_epochs_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch(current=-0.1, duration=1.0)
+        with pytest.raises(ValueError):
+            Epoch(current=0.1, duration=0.0)
+        with pytest.raises(ValueError):
+            job_epoch(0.0, 1.0)
+
+
+class TestLoad:
+    def make_load(self) -> Load:
+        return Load(
+            name="demo",
+            epochs=(job_epoch(0.5, 1.0), idle_epoch(2.0), job_epoch(0.25, 1.0)),
+        )
+
+    def test_totals(self):
+        load = self.make_load()
+        assert load.total_duration == pytest.approx(4.0)
+        assert load.total_charge == pytest.approx(0.75)
+        assert load.job_count == 2
+
+    def test_segments_round_trip(self):
+        load = self.make_load()
+        rebuilt = Load.from_segments("copy", load.segments())
+        assert rebuilt.segments() == load.segments()
+
+    def test_epoch_start_and_end_times(self):
+        load = self.make_load()
+        assert load.epoch_start_times() == [0.0, 1.0, 3.0]
+        assert load.epoch_end_times() == [1.0, 3.0, 4.0]
+
+    def test_current_at(self):
+        load = self.make_load()
+        assert load.current_at(0.5) == pytest.approx(0.5)
+        assert load.current_at(2.0) == 0.0
+        assert load.current_at(3.5) == pytest.approx(0.25)
+        assert load.current_at(100.0) == 0.0
+
+    def test_truncated(self):
+        load = self.make_load()
+        prefix = load.truncated(1.5)
+        assert prefix.total_duration == pytest.approx(1.5)
+        assert len(prefix) == 2
+
+    def test_repeated_and_scaled(self):
+        load = self.make_load()
+        assert load.repeated(3).total_duration == pytest.approx(12.0)
+        assert load.scaled_current(2.0).total_charge == pytest.approx(1.5)
+
+    def test_empty_load_rejected(self):
+        with pytest.raises(ValueError):
+            Load(name="empty", epochs=())
+
+
+class TestPaperLoads:
+    def test_all_ten_loads_present(self, loads):
+        assert set(loads) == set(PAPER_LOAD_NAMES)
+
+    def test_job_levels_and_duration(self, loads):
+        for name, load in loads.items():
+            for epoch in load.epochs:
+                if epoch.is_job:
+                    assert epoch.current in (LOW_CURRENT, HIGH_CURRENT)
+                    assert epoch.duration == pytest.approx(JOB_DURATION)
+
+    def test_continuous_loads_have_no_idle(self, loads):
+        for name in ("CL 250", "CL 500", "CL alt"):
+            assert all(epoch.is_job for epoch in loads[name].epochs)
+
+    def test_intermittent_idle_durations(self, loads):
+        short_idles = [e.duration for e in loads["ILs 250"].epochs if e.is_idle]
+        long_idles = [e.duration for e in loads["IL` 250"].epochs if e.is_idle]
+        assert all(duration == pytest.approx(1.0) for duration in short_idles)
+        assert all(duration == pytest.approx(2.0) for duration in long_idles)
+
+    def test_alternating_load_starts_with_high_current(self, loads):
+        # Calibrated against Table 3 (see EXPERIMENTS.md): the alternating
+        # loads begin with the 500 mA job.
+        jobs = [epoch for epoch in loads["CL alt"].epochs if epoch.is_job]
+        assert jobs[0].current == pytest.approx(HIGH_CURRENT)
+        assert jobs[1].current == pytest.approx(LOW_CURRENT)
+
+    def test_loads_are_long_enough_for_the_paper_experiments(self, loads):
+        # Table 5's longest lifetime is just under 80 minutes; the generated
+        # loads must comfortably exceed that.
+        for load in loads.values():
+            assert load.total_duration >= 150.0
+
+    def test_random_loads_are_reproducible(self):
+        first = random_intermittent_load(seed=7)
+        second = random_intermittent_load(seed=7)
+        assert first.segments() == second.segments()
+        different = random_intermittent_load(seed=8)
+        assert first.segments() != different.segments()
+
+    def test_profile_constructors_validate_inputs(self):
+        with pytest.raises(ValueError):
+            intermittent_load(0.25, idle_duration=1.0, total_duration=0.0)
+        with pytest.raises(ValueError):
+            continuous_alternating_load(total_duration=-1.0)
+
+
+class TestGenerators:
+    def test_random_load_respects_levels_and_step(self):
+        config = RandomLoadConfig(levels=(0.2, 0.4), duration_step=0.25, total_duration=30.0)
+        load = generate_random_load(seed=3, config=config)
+        for epoch in load.epochs:
+            if epoch.is_job:
+                assert epoch.current in (0.2, 0.4)
+            assert (epoch.duration / 0.25) == pytest.approx(round(epoch.duration / 0.25))
+        assert load.total_duration >= 30.0
+
+    def test_random_load_is_seed_deterministic(self):
+        assert generate_random_load(1).segments() == generate_random_load(1).segments()
+
+    def test_bursty_load_structure(self):
+        load = bursty_load(burst_current=0.5, burst_jobs=3, rest_duration=5.0, cycles=2)
+        assert load.job_count == 6
+        idles = [epoch for epoch in load.epochs if epoch.is_idle]
+        assert len(idles) == 2 and idles[0].duration == pytest.approx(5.0)
+
+    def test_duty_cycle_load(self):
+        load = duty_cycle_load(current=0.3, period=2.0, duty_cycle=0.25, cycles=4)
+        assert load.total_duration == pytest.approx(8.0)
+        assert load.total_charge == pytest.approx(0.3 * 0.5 * 4)
+
+    def test_duty_cycle_validation(self):
+        with pytest.raises(ValueError):
+            duty_cycle_load(current=0.3, period=2.0, duty_cycle=1.5, cycles=1)
+
+    def test_sensor_node_load_has_three_phases_per_cycle(self):
+        load = sensor_node_load(cycles=5)
+        assert len(load) == 15
+        labels = {epoch.label for epoch in load.epochs}
+        assert {"sense", "transmit", "sleep"} <= labels
+
+    def test_invalid_generator_configs_rejected(self):
+        with pytest.raises(ValueError):
+            RandomLoadConfig(levels=())
+        with pytest.raises(ValueError):
+            bursty_load(0.5, burst_jobs=0, rest_duration=1.0, cycles=1)
+        with pytest.raises(ValueError):
+            sensor_node_load(cycles=0)
