@@ -12,6 +12,10 @@ and Katoen (DSN 2009):
   minimum-cost reachability engine (the stand-in for Uppaal Cora),
 * :mod:`repro.takibam` -- the TA-KiBaM network of Section 4 built on that
   substrate,
+* :mod:`repro.engine` -- the vectorized batch execution engine: NumPy
+  KiBaM kernels, array policies and a lock-step many-scenario simulator
+  for fleet-scale sweeps (plus a multiprocessing executor for workloads
+  that scale across cores),
 * :mod:`repro.analysis` -- the experiment layer regenerating every table
   and figure of the paper.
 
@@ -58,8 +62,14 @@ from repro.core import (
     make_policy,
     simulate_policy,
 )
+from repro.engine import (
+    BatchResult,
+    BatchSimulator,
+    ScenarioSet,
+)
+from repro.analysis.montecarlo import run_montecarlo
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "B1",
@@ -89,5 +99,9 @@ __all__ = [
     "find_optimal_schedule",
     "make_policy",
     "simulate_policy",
+    "BatchResult",
+    "BatchSimulator",
+    "ScenarioSet",
+    "run_montecarlo",
     "__version__",
 ]

@@ -25,6 +25,7 @@ from repro.analysis.montecarlo import (
     MonteCarloResult,
     lifetime_distribution,
     render_distributions,
+    run_montecarlo,
 )
 
 __all__ = [
@@ -46,4 +47,5 @@ __all__ = [
     "MonteCarloResult",
     "lifetime_distribution",
     "render_distributions",
+    "run_montecarlo",
 ]

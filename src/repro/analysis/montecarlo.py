@@ -7,19 +7,42 @@ scheduling policies (and optionally the optimal scheduler) on each sample
 and summarizes the lifetime distribution -- the simulation counterpart of
 the lifetime-distribution work the authors reference (Cloth et al.,
 DSN 2007).
+
+Two execution engines are available.  The ``"scalar"`` engine is the
+original pure-Python loop over :func:`repro.core.simulator.simulate_policy`
+and remains the golden reference.  The ``"batch"`` engine hands the whole
+sample set to :class:`repro.engine.batch.BatchSimulator`, which advances
+every scenario through vectorized NumPy kernels and delivers identical
+lifetimes (within the 1e-9 root-finder tolerance) at well over an order of
+magnitude higher throughput.  ``"auto"`` picks the batch engine whenever the
+backend and all requested policies are vectorizable.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import statistics
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.optimal import find_optimal_schedule
 from repro.core.simulator import simulate_policy
+from repro.engine.batch import BatchSimulator
+from repro.engine.parallel import (
+    optimal_lifetimes_chunk,
+    run_chunked,
+    simulate_lifetimes_chunk,
+)
+from repro.engine.policies import VectorPolicy, has_vector_policy
+from repro.engine.scenarios import ScenarioSet
 from repro.kibam.parameters import BatteryParameters
-from repro.workloads.generator import RandomLoadConfig, generate_random_load
+from repro.workloads.generator import ILS_LIKE_RANDOM_CONFIG, RandomLoadConfig
 from repro.workloads.load import Load
+
+#: Engines understood by :func:`run_montecarlo`.
+ENGINES = ("auto", "scalar", "batch")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -38,9 +61,19 @@ class LifetimeDistribution:
 
     @staticmethod
     def from_samples(policy: str, lifetimes: Sequence[float]) -> "LifetimeDistribution":
-        if not lifetimes:
-            raise ValueError("at least one lifetime sample is required")
-        ordered = sorted(lifetimes)
+        """Summarize a non-empty sequence (or array) of lifetime samples.
+
+        A single sample is a legitimate degenerate sweep and yields a zero
+        standard deviation; an empty sequence is rejected with a clear
+        error instead of crashing inside the statistics helpers.
+        """
+        values = [float(value) for value in lifetimes]
+        if not values:
+            raise ValueError(
+                "cannot summarize an empty set of lifetime samples; "
+                "at least one lifetime is required"
+            )
+        ordered = sorted(values)
         def percentile(fraction: float) -> float:
             index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
             return ordered[index]
@@ -64,6 +97,7 @@ class MonteCarloResult:
     distributions: Dict[str, LifetimeDistribution]
     per_sample: Dict[str, List[float]]
     n_samples: int
+    engine: str = "scalar"
 
     def mean_gain_percent(self, policy: str, reference: str) -> float:
         """Mean per-sample lifetime gain of ``policy`` over ``reference`` in percent."""
@@ -74,15 +108,34 @@ class MonteCarloResult:
         return statistics.fmean(gains)
 
 
-def lifetime_distribution(
+def _require_lifetimes(
+    lifetimes: Sequence[Optional[float]], policy: str
+) -> List[float]:
+    """Reject survived-the-load samples, mirroring ``lifetime_or_raise``."""
+    out: List[float] = []
+    for value in lifetimes:
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            raise RuntimeError(
+                f"a sample survived the whole load under policy {policy!r}; "
+                "extend the load to measure a lifetime"
+            )
+        out.append(float(value))
+    return out
+
+
+def run_montecarlo(
     params: Sequence[BatteryParameters],
     n_samples: int = 50,
     policies: Sequence[str] = ("sequential", "round-robin", "best-of-two"),
     include_optimal: bool = False,
     config: Optional[RandomLoadConfig] = None,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    engine: str = "auto",
     backend: str = "analytical",
     optimal_max_nodes: Optional[int] = 20_000,
+    n_workers: int = 1,
+    loads: Optional[Sequence[Load]] = None,
 ) -> MonteCarloResult:
     """Sample random loads and summarize the policy lifetimes on them.
 
@@ -95,44 +148,146 @@ def lifetime_distribution(
             bounded; the resulting column is labelled ``"optimal"``).
         config: random-load configuration; the default produces ILs-like
             loads with mixed currents.
-        seed: base seed; sample ``i`` uses ``seed + i``.
+        seed: base seed; sample ``i`` uses ``seed + i`` (ignored when
+            ``rng`` or ``loads`` is given).
+        rng: an explicit :class:`numpy.random.Generator` to draw every
+            sample from one stream.  The loads are drawn exactly once, so
+            scalar and batch engines see identical samples either way.
+        engine: ``"scalar"`` (the golden-reference Python loop),
+            ``"batch"`` (the vectorized engine; non-vectorizable
+            backend/policy combinations still run, scenario by scenario,
+            through the scalar fallback) or ``"auto"``.  The result's
+            ``engine`` field records the path that actually executed.
         backend: battery backend for the policy simulations.
         optimal_max_nodes: node cap per optimal search.
+        n_workers: worker processes for the scalar and optimal sweeps
+            (``1`` runs inline; the batch engine itself is single-process
+            array code and ignores this).
+        loads: explicit sample loads, overriding the random sampling; the
+            length overrides ``n_samples``.
     """
-    if n_samples < 1:
-        raise ValueError("n_samples must be at least 1")
-    load_config = config if config is not None else RandomLoadConfig(
-        levels=(0.25, 0.5),
-        job_duration_range=(0.5, 1.5),
-        idle_duration_range=(0.5, 2.0),
-        total_duration=120.0,
-        duration_step=0.25,
-    )
-    per_sample: Dict[str, List[float]] = {policy: [] for policy in policies}
-    if include_optimal:
-        per_sample["optimal"] = []
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known engines: {ENGINES}")
+    if loads is not None:
+        scenarios = ScenarioSet.from_loads(list(loads))
+    else:
+        if n_samples < 1:
+            raise ValueError("n_samples must be at least 1")
+        load_config = config if config is not None else ILS_LIKE_RANDOM_CONFIG
+        scenarios = ScenarioSet.random(n_samples, load_config, seed=seed, rng=rng)
+    n_samples = scenarios.n_scenarios
 
-    for index in range(n_samples):
-        load = generate_random_load(seed + index, load_config)
-        for policy in policies:
-            result = simulate_policy(params, load, policy, backend=backend)
-            per_sample[policy].append(result.lifetime_or_raise())
-        if include_optimal:
-            optimal = find_optimal_schedule(
-                params,
-                load,
+    # Policies may be registry names or policy objects (vector or scalar);
+    # the result columns are always keyed by the policy's name.
+    names = [policy if isinstance(policy, str) else policy.name for policy in policies]
+    if len(set(names)) != len(names):
+        raise ValueError(f"policy names must be unique, got {names}")
+
+    vectorizable = backend == "analytical" and all(
+        isinstance(policy, VectorPolicy)
+        or (isinstance(policy, str) and has_vector_policy(policy))
+        for policy in policies
+    )
+    if engine == "auto":
+        engine = "batch" if vectorizable else "scalar"
+    # The result's engine label records the execution path that actually
+    # ran: requesting "batch" with a non-vectorizable backend/policy set
+    # still works, but runs scenario-by-scenario through the scalar
+    # fallback and is labelled accordingly.
+    executed_engine = "batch" if (engine == "batch" and vectorizable) else "scalar"
+
+    per_sample: Dict[str, List[float]] = {}
+    if engine == "batch":
+        simulator = BatchSimulator(params, backend=backend)
+        results = simulator.run_many(scenarios, list(policies))
+        for name in names:
+            per_sample[name] = _require_lifetimes(
+                results[name].lifetimes.tolist(), name
+            )
+    else:
+        for name, policy in zip(names, policies):
+            if isinstance(policy, VectorPolicy):
+                raise ValueError(
+                    f"the scalar engine cannot run vector policy {name!r}; "
+                    "pass its registry name or a SchedulingPolicy instead"
+                )
+            if n_workers > 1 and isinstance(policy, str):
+                worker = functools.partial(
+                    simulate_lifetimes_chunk,
+                    params=tuple(params),
+                    policy_name=policy,
+                    backend=backend,
+                )
+                lifetimes = run_chunked(worker, scenarios.loads, n_workers=n_workers)
+            else:
+                # Policy objects are not safely picklable (state, custom
+                # classes), so they always run inline.
+                lifetimes = [
+                    simulate_policy(params, load, policy, backend=backend).lifetime
+                    for load in scenarios.loads
+                ]
+            per_sample[name] = _require_lifetimes(lifetimes, name)
+
+    if include_optimal:
+        if n_workers > 1:
+            worker = functools.partial(
+                optimal_lifetimes_chunk,
+                params=tuple(params),
                 backend=backend,
-                dominance_tolerance=0.005,
                 max_nodes=optimal_max_nodes,
             )
-            per_sample["optimal"].append(optimal.lifetime)
+            optima = run_chunked(worker, scenarios.loads, n_workers=n_workers)
+        else:
+            optima = [
+                find_optimal_schedule(
+                    params,
+                    load,
+                    backend=backend,
+                    dominance_tolerance=0.005,
+                    max_nodes=optimal_max_nodes,
+                ).lifetime
+                for load in scenarios.loads
+            ]
+        per_sample["optimal"] = _require_lifetimes(optima, "optimal")
 
     distributions = {
         policy: LifetimeDistribution.from_samples(policy, lifetimes)
         for policy, lifetimes in per_sample.items()
     }
     return MonteCarloResult(
-        distributions=distributions, per_sample=per_sample, n_samples=n_samples
+        distributions=distributions,
+        per_sample=per_sample,
+        n_samples=n_samples,
+        engine=executed_engine,
+    )
+
+
+def lifetime_distribution(
+    params: Sequence[BatteryParameters],
+    n_samples: int = 50,
+    policies: Sequence[str] = ("sequential", "round-robin", "best-of-two"),
+    include_optimal: bool = False,
+    config: Optional[RandomLoadConfig] = None,
+    seed: int = 0,
+    backend: str = "analytical",
+    optimal_max_nodes: Optional[int] = 20_000,
+) -> MonteCarloResult:
+    """Backward-compatible wrapper around :func:`run_montecarlo`.
+
+    Kept for the original call sites (tests, benchmarks, examples); new code
+    should call :func:`run_montecarlo`, which also exposes the engine
+    selection, an explicit ``rng`` and multiprocessing workers.
+    """
+    return run_montecarlo(
+        params,
+        n_samples=n_samples,
+        policies=policies,
+        include_optimal=include_optimal,
+        config=config,
+        seed=seed,
+        engine="auto",
+        backend=backend,
+        optimal_max_nodes=optimal_max_nodes,
     )
 
 

@@ -1,0 +1,83 @@
+"""Batch execution engine: array-native simulation at fleet scale.
+
+This subsystem answers the ROADMAP's scale mandate for the hot path of the
+reproduction.  Where :mod:`repro.core.simulator` walks one (battery-set,
+load, policy) scenario at a time in pure Python, the engine advances
+thousands of scenarios per NumPy call:
+
+* :mod:`repro.engine.kernels` -- vectorized closed-form KiBaM stepping and
+  empty-crossing search over ``(n_scenarios, n_batteries, 2)`` state arrays
+  (the array form of Section 2.2 of the paper),
+* :mod:`repro.engine.policies` -- array implementations of the scheduling
+  policies of Section 6, bit-compatible with the scalar tie-breaking,
+* :mod:`repro.engine.scenarios` -- :class:`ScenarioSet`, a batch of loads in
+  padded-array form,
+* :mod:`repro.engine.batch` -- :class:`BatchSimulator`, the lock-step event
+  loop with masking of dead scenarios and a scalar fallback for
+  non-vectorizable policies/backends,
+* :mod:`repro.engine.parallel` -- a chunked ``multiprocessing`` executor for
+  the workloads that scale across cores instead of array lanes (dKiBaM,
+  optimal search).
+
+The scalar simulator remains the golden reference; the test suite pins the
+two paths to within 1e-9 minutes on random loads.
+"""
+
+from repro.engine.batch import BatchResult, BatchSimulator
+from repro.engine.kernels import (
+    KernelParams,
+    available_charge_array,
+    empty_margin_array,
+    initial_state_array,
+    step_constant_current_array,
+    time_to_empty_array,
+    total_charge_array,
+)
+from repro.engine.parallel import (
+    ChunkedExecutor,
+    default_worker_count,
+    optimal_lifetimes_chunk,
+    run_chunked,
+    simulate_lifetimes_chunk,
+)
+from repro.engine.policies import (
+    BatchDecisionContext,
+    VECTOR_POLICY_REGISTRY,
+    VectorBestOfTwoPolicy,
+    VectorPolicy,
+    VectorPolicyStack,
+    VectorRoundRobinPolicy,
+    VectorSequentialPolicy,
+    VectorWorstOfTwoPolicy,
+    has_vector_policy,
+    make_vector_policy,
+)
+from repro.engine.scenarios import ScenarioSet
+
+__all__ = [
+    "BatchDecisionContext",
+    "BatchResult",
+    "BatchSimulator",
+    "ChunkedExecutor",
+    "KernelParams",
+    "ScenarioSet",
+    "VECTOR_POLICY_REGISTRY",
+    "VectorBestOfTwoPolicy",
+    "VectorPolicy",
+    "VectorPolicyStack",
+    "VectorRoundRobinPolicy",
+    "VectorSequentialPolicy",
+    "VectorWorstOfTwoPolicy",
+    "available_charge_array",
+    "default_worker_count",
+    "empty_margin_array",
+    "has_vector_policy",
+    "initial_state_array",
+    "make_vector_policy",
+    "optimal_lifetimes_chunk",
+    "run_chunked",
+    "simulate_lifetimes_chunk",
+    "step_constant_current_array",
+    "time_to_empty_array",
+    "total_charge_array",
+]

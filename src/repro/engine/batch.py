@@ -1,0 +1,421 @@
+"""Lock-step batch simulator: many scenarios, one set of NumPy calls.
+
+:class:`BatchSimulator` is the array-native counterpart of
+:class:`repro.core.simulator.MultiBatterySimulator`.  It advances a whole
+:class:`repro.engine.scenarios.ScenarioSet` at once: every iteration of its
+event loop moves *every* still-active scenario forward by one span (a full
+idle epoch, or one served slice of a job epoch), with the KiBaM dynamics,
+the empty-crossing search and the scheduling decisions all evaluated as
+vectorized kernels over the scenario axis.  Scenarios that die or exhaust
+their load drop out of the active set; the loop ends when none remain.
+
+The semantics are a faithful transliteration of the scalar simulator --
+same epoch walk, same ``1e-9`` span epsilon, same ``1e-12`` emptiness
+tolerance, same sticky empty observation (Section 4.3 of the paper), same
+mid-job switchover rule -- so batch lifetimes match scalar lifetimes to
+within the root-finder tolerance (far below 1e-9 minutes; the test suite
+pins this).  Scenarios whose policy or battery backend has no vectorized
+implementation transparently fall back to the scalar simulator, one
+scenario at a time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.battery import make_battery_models
+from repro.core.policies import SchedulingPolicy
+from repro.core.simulator import MultiBatterySimulator
+from repro.engine.kernels import (
+    DELTA,
+    GAMMA,
+    KernelParams,
+    empty_margin_array,
+    initial_state_array,
+    step_constant_current_array,
+    time_to_empty_array,
+    total_charge_array,
+)
+from repro.engine.policies import (
+    BatchDecisionContext,
+    VectorPolicy,
+    VectorPolicyStack,
+    has_vector_policy,
+    make_vector_policy,
+)
+from repro.engine.scenarios import ScenarioSet
+from repro.kibam.parameters import BatteryParameters
+from repro.workloads.load import Load
+
+#: Spans shorter than this (minutes) end a job epoch; identical to the
+#: scalar simulator's ``_TIME_EPSILON``.
+_TIME_EPSILON = 1e-9
+#: Emptiness tolerance (Amin); identical to ``AnalyticalBattery.is_empty``.
+_EMPTY_TOLERANCE = 1e-12
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one policy over a batch of scenarios.
+
+    Attributes:
+        policy_name: name of the policy that produced the batch.
+        lifetimes: system lifetime per scenario in minutes; NaN where the
+            batteries survived the whole load.
+        decisions: scheduling decisions taken per scenario.
+        residual_charge: total charge (Amin) left across the batteries of
+            each scenario at the end of its simulation.
+        final_states: transformed KiBaM states, shape
+            ``(n_scenarios, n_batteries, 2)``; ``None`` when the batch ran
+            through the scalar fallback.
+    """
+
+    policy_name: str
+    lifetimes: np.ndarray
+    decisions: np.ndarray
+    residual_charge: np.ndarray
+    final_states: Optional[np.ndarray] = None
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.lifetimes.shape[0]
+
+    @property
+    def survived(self) -> np.ndarray:
+        """Boolean mask of the scenarios whose batteries outlived the load."""
+        return np.isnan(self.lifetimes)
+
+    def lifetimes_or_raise(self) -> np.ndarray:
+        """All lifetimes, raising if any scenario survived its load."""
+        if bool(np.any(self.survived)):
+            count = int(np.sum(self.survived))
+            raise RuntimeError(
+                f"{count} scenario(s) survived the whole load; extend the "
+                "loads to measure lifetimes"
+            )
+        return self.lifetimes
+
+
+class BatchSimulator:
+    """Simulates one battery set serving many scenario loads in lock-step.
+
+    Args:
+        params: battery parameter sets, one per battery; shared by every
+            scenario in a batch.
+        backend: ``"analytical"`` runs the vectorized engine; any other
+            registered backend (``"discrete"``, ``"linear"``) runs through
+            the scalar fallback.
+        time_step / charge_unit: dKiBaM discretization, fallback only.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[BatteryParameters],
+        backend: str = "analytical",
+        time_step: float = 0.01,
+        charge_unit: float = 0.01,
+    ) -> None:
+        if not params:
+            raise ValueError("at least one battery parameter set is required")
+        self.params = tuple(params)
+        self.backend = backend
+        self.time_step = time_step
+        self.charge_unit = charge_unit
+        self._kernel_params = KernelParams.from_parameters(self.params)
+
+    @property
+    def n_batteries(self) -> int:
+        return len(self.params)
+
+    def run(
+        self,
+        scenarios: Union[ScenarioSet, Load, Sequence[Load]],
+        policy: Union[str, VectorPolicy, SchedulingPolicy],
+    ) -> BatchResult:
+        """Simulate ``policy`` on every scenario and return the batch result."""
+        if not isinstance(scenarios, ScenarioSet):
+            scenarios = ScenarioSet.from_loads(scenarios)
+        vector_policy = self._resolve_vector_policy(policy)
+        if vector_policy is None or self.backend != "analytical":
+            return self._run_fallback(scenarios, policy)
+        return self._run_vectorized(scenarios, vector_policy)
+
+    def run_many(
+        self,
+        scenarios: Union[ScenarioSet, Load, Sequence[Load]],
+        policies: Sequence[Union[str, VectorPolicy, SchedulingPolicy]],
+    ) -> Dict[str, BatchResult]:
+        """Simulate several policies over the same scenarios in one batch.
+
+        All vectorizable policies are swept together as one stacked
+        lock-step batch (policy ``p`` owning lane block ``p``), which
+        amortizes the per-iteration NumPy overhead across policies; the
+        rest run one by one through :meth:`run`.  Returns one
+        :class:`BatchResult` per policy, keyed by policy name.
+        """
+        if not policies:
+            raise ValueError("at least one policy is required")
+        names = [
+            policy if isinstance(policy, str) else policy.name for policy in policies
+        ]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"policy names must be unique (results are keyed by name), got {names}"
+            )
+        if not isinstance(scenarios, ScenarioSet):
+            scenarios = ScenarioSet.from_loads(scenarios)
+        resolved = [(policy, self._resolve_vector_policy(policy)) for policy in policies]
+        results: Dict[str, BatchResult] = {}
+
+        vector = [v for _, v in resolved if v is not None]
+        if self.backend == "analytical" and len(vector) > 1:
+            stack = VectorPolicyStack(vector, scenarios.n_scenarios)
+            stacked = self._run_vectorized(scenarios.tiled(len(vector)), stack)
+            n = scenarios.n_scenarios
+            for index, policy in enumerate(vector):
+                lanes = slice(index * n, (index + 1) * n)
+                results[policy.name] = BatchResult(
+                    policy_name=policy.name,
+                    lifetimes=stacked.lifetimes[lanes],
+                    decisions=stacked.decisions[lanes],
+                    residual_charge=stacked.residual_charge[lanes],
+                    final_states=stacked.final_states[lanes]
+                    if stacked.final_states is not None
+                    else None,
+                )
+            remaining = [p for p, v in resolved if v is None]
+        else:
+            remaining = list(policies)
+        for policy in remaining:
+            result = self.run(scenarios, policy)
+            results[result.policy_name] = result
+        return results
+
+    # ------------------------------------------------------------------ #
+    # vectorized path
+    # ------------------------------------------------------------------ #
+    def _resolve_vector_policy(
+        self, policy: Union[str, VectorPolicy, SchedulingPolicy]
+    ) -> Optional[VectorPolicy]:
+        if isinstance(policy, VectorPolicy):
+            return policy
+        if isinstance(policy, str) and has_vector_policy(policy):
+            return make_vector_policy(policy)
+        return None
+
+    def _run_vectorized(
+        self, scenarios: ScenarioSet, policy: VectorPolicy
+    ) -> BatchResult:
+        kp = self._kernel_params
+        n_scen = scenarios.n_scenarios
+        n_bat = self.n_batteries
+        currents = scenarios.currents
+        durations = scenarios.durations
+        n_epochs = scenarios.n_epochs
+
+        state = initial_state_array(kp, n_scen)
+        sticky = np.zeros((n_scen, n_bat), dtype=bool)
+        epoch_idx = np.full(n_scen, -1, dtype=np.int64)
+        cur_current = np.zeros(n_scen)
+        remaining = np.zeros(n_scen)
+        time = np.zeros(n_scen)
+        job_index = np.full(n_scen, -1, dtype=np.int64)
+        prev_choice = np.full(n_scen, -1, dtype=np.int64)
+        decisions = np.zeros(n_scen, dtype=np.int64)
+        lifetime = np.full(n_scen, np.nan)
+        switchover = np.zeros(n_scen, dtype=bool)
+        active = np.ones(n_scen, dtype=bool)
+
+        policy.reset(n_scen, n_bat)
+
+        act = np.flatnonzero(active)
+        while act.size:
+            # ---- advance scenarios whose current epoch is finished.  A job
+            # epoch is finished when less than the span epsilon remains (the
+            # scalar simulator's ``while remaining > eps``); an idle epoch is
+            # consumed whole in one span, so it is finished when remaining
+            # hits zero exactly.
+            while True:
+                cur_a = cur_current[act]
+                rem_a = remaining[act]
+                finished = np.where(
+                    cur_a > 0.0, rem_a <= _TIME_EPSILON, rem_a == 0.0
+                )
+                adv = act[finished]
+                if adv.size == 0:
+                    break
+                epoch_idx[adv] += 1
+                exhausted = epoch_idx[adv] >= n_epochs[adv]
+                # Load ran out with batteries still usable: the scenario
+                # survived; its lifetime stays NaN.
+                active[adv[exhausted]] = False
+                live = adv[~exhausted]
+                if live.size:
+                    cur_current[live] = currents[live, epoch_idx[live]]
+                    remaining[live] = durations[live, epoch_idx[live]]
+                    entered_job = cur_current[live] > 0.0
+                    job_index[live[entered_job]] += 1
+                    switchover[live] = False
+                if exhausted.any():
+                    act = act[active[act]]
+            if act.size == 0:
+                break
+
+            cur = cur_current[act]
+            is_idle = cur == 0.0
+            idle_lanes = act[is_idle]
+            job_lanes = act[~is_idle]
+
+            # ---- scheduling decisions for the job lanes.
+            deciding = job_lanes
+            choice = np.empty(0, dtype=np.int64)
+            crossed = np.zeros(0, dtype=bool)
+            crossing = np.empty(0)
+            if job_lanes.size:
+                margin = empty_margin_array(kp, state[job_lanes])
+                alive = (~sticky[job_lanes]) & (margin > _EMPTY_TOLERANCE)
+                any_alive = np.any(alive, axis=1)
+                dead = job_lanes[~any_alive]
+                if dead.size:
+                    # A job arrived and no battery can serve it: the system
+                    # died the moment the previous span ended.
+                    lifetime[dead] = time[dead]
+                    active[dead] = False
+                    act = act[active[act]]
+                deciding = job_lanes[any_alive]
+            if deciding.size:
+                deciding_rows = np.flatnonzero(any_alive)
+                # The scalar battery view's available charge is
+                # ``max(0, c * margin)`` in exactly this operation order.
+                context = BatchDecisionContext(
+                    lanes=deciding,
+                    available_charge=np.maximum(
+                        0.0, kp.c * margin[deciding_rows]
+                    ),
+                    alive=alive[deciding_rows],
+                    current=cur_current[deciding],
+                    time=time[deciding],
+                    job_index=job_index[deciding],
+                    is_switchover=switchover[deciding],
+                    previous_choice=prev_choice[deciding],
+                )
+                choice = np.asarray(policy.choose(context), dtype=np.int64)
+                if choice.shape != (deciding.size,):
+                    raise ValueError(
+                        f"policy {policy.name!r} returned shape {choice.shape}, "
+                        f"expected ({deciding.size},)"
+                    )
+                if np.any((choice < 0) | (choice >= n_bat)):
+                    raise ValueError(
+                        f"policy {policy.name!r} chose a battery that does not exist"
+                    )
+                if not np.all(alive[deciding_rows, choice]):
+                    raise ValueError(
+                        f"policy {policy.name!r} chose a battery that is already empty"
+                    )
+                decisions[deciding] += 1
+                crossing, crossed = time_to_empty_array(
+                    kp.c[choice],
+                    kp.k_prime[choice],
+                    state[deciding, choice, GAMMA],
+                    state[deciding, choice, DELTA],
+                    cur_current[deciding],
+                    remaining[deciding],
+                )
+
+            # ---- one span per stepping lane: the whole epoch for idle
+            # lanes, the served slice (up to the empty crossing) for jobs.
+            stepping = np.concatenate([idle_lanes, deciding])
+            if stepping.size == 0:
+                continue
+            span = np.concatenate(
+                [
+                    remaining[idle_lanes],
+                    np.where(crossed, crossing, remaining[deciding]),
+                ]
+            )
+            battery_currents = np.zeros((stepping.size, n_bat))
+            if deciding.size:
+                job_rows = idle_lanes.size + np.arange(deciding.size)
+                battery_currents[job_rows, choice] = cur_current[deciding]
+
+            old = state[stepping]
+            new = step_constant_current_array(
+                kp, old, battery_currents, span[:, None]
+            )
+            # Batteries observed empty stay frozen, exactly like the scalar
+            # adapter's sticky ``_MarkedState``.
+            frozen = sticky[stepping]
+            state[stepping] = np.where(frozen[:, :, None], old, new)
+            time[stepping] += span
+            remaining[stepping] -= span
+
+            # ---- post-span bookkeeping for the job lanes.
+            if deciding.size:
+                prev_choice[deciding] = choice
+                hit = np.flatnonzero(crossed)
+                if hit.size:
+                    hit_lanes = deciding[hit]
+                    sticky[hit_lanes, choice[hit]] = True
+                    margin_after = empty_margin_array(kp, state[hit_lanes])
+                    alive_after = (~sticky[hit_lanes]) & (
+                        margin_after > _EMPTY_TOLERANCE
+                    )
+                    died = ~np.any(alive_after, axis=1)
+                    dead_lanes = hit_lanes[died]
+                    if dead_lanes.size:
+                        lifetime[dead_lanes] = time[dead_lanes]
+                        active[dead_lanes] = False
+                        act = act[active[act]]
+                    switchover[hit_lanes[~died]] = True
+
+        residual = np.sum(total_charge_array(state), axis=1)
+        return BatchResult(
+            policy_name=policy.name,
+            lifetimes=lifetime,
+            decisions=decisions,
+            residual_charge=residual,
+            final_states=state,
+        )
+
+    # ------------------------------------------------------------------ #
+    # scalar fallback
+    # ------------------------------------------------------------------ #
+    def _run_fallback(
+        self,
+        scenarios: ScenarioSet,
+        policy: Union[str, VectorPolicy, SchedulingPolicy],
+    ) -> BatchResult:
+        """One scalar simulation per scenario, packed into a batch result."""
+        from repro.core.policies import make_policy
+
+        if isinstance(policy, VectorPolicy):
+            policy = policy.name
+        if isinstance(policy, str):
+            policy = make_policy(policy)
+        models = make_battery_models(
+            self.params,
+            backend=self.backend,
+            time_step=self.time_step,
+            charge_unit=self.charge_unit,
+        )
+        simulator = MultiBatterySimulator(models)
+        lifetimes = np.full(scenarios.n_scenarios, np.nan)
+        decisions = np.zeros(scenarios.n_scenarios, dtype=np.int64)
+        residual = np.zeros(scenarios.n_scenarios)
+        for index, load in enumerate(scenarios.loads):
+            result = simulator.run(load, policy)
+            if result.lifetime is not None:
+                lifetimes[index] = result.lifetime
+            decisions[index] = result.decisions
+            residual[index] = result.residual_charge
+        return BatchResult(
+            policy_name=policy.name,
+            lifetimes=lifetimes,
+            decisions=decisions,
+            residual_charge=residual,
+            final_states=None,
+        )

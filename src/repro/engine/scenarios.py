@@ -1,0 +1,130 @@
+"""Scenario batches: many loads packed into padded epoch arrays.
+
+A :class:`ScenarioSet` is the unit of work of the batch engine: a tuple of
+:class:`repro.workloads.load.Load` objects plus their array form -- per-
+scenario epoch currents and durations padded to a common length, which is
+what lets :class:`repro.engine.batch.BatchSimulator` advance every scenario
+with the same NumPy indexing.  The object form is kept alongside the arrays
+so scalar fallbacks (non-vectorizable policies, the discrete backend, the
+optimal scheduler) can run on exactly the same loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.workloads.generator import RandomLoadConfig, generate_random_load
+from repro.workloads.load import Load
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioSet:
+    """A batch of loads in both object and padded-array form.
+
+    Attributes:
+        loads: the scenario loads, one per row of the arrays.
+        currents: epoch currents in Ampere, shape ``(n_scenarios,
+            max_epochs)``, zero-padded past each scenario's last epoch.
+        durations: epoch durations in minutes, same shape, zero-padded.
+        n_epochs: number of real epochs per scenario, shape
+            ``(n_scenarios,)``.
+    """
+
+    loads: Tuple[Load, ...]
+    currents: np.ndarray
+    durations: np.ndarray
+    n_epochs: np.ndarray
+
+    @staticmethod
+    def from_loads(loads: Union[Load, Sequence[Load]]) -> "ScenarioSet":
+        """Pack one or more loads into a scenario batch."""
+        if isinstance(loads, Load):
+            loads = [loads]
+        loads = tuple(loads)
+        if not loads:
+            raise ValueError("a scenario set needs at least one load")
+        counts = np.array([len(load.epochs) for load in loads], dtype=np.int64)
+        width = int(counts.max())
+        currents = np.zeros((len(loads), width), dtype=np.float64)
+        durations = np.zeros((len(loads), width), dtype=np.float64)
+        for row, load in enumerate(loads):
+            for col, epoch in enumerate(load.epochs):
+                currents[row, col] = epoch.current
+                durations[row, col] = epoch.duration
+        return ScenarioSet(
+            loads=loads, currents=currents, durations=durations, n_epochs=counts
+        )
+
+    @staticmethod
+    def random(
+        n_scenarios: int,
+        config: Optional[RandomLoadConfig] = None,
+        seed: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "ScenarioSet":
+        """Sample ``n_scenarios`` random loads.
+
+        Without ``rng``, scenario ``i`` uses seed ``seed + i`` -- the exact
+        sequence the scalar Monte-Carlo loop has always drawn, so batch and
+        scalar sweeps see identical loads sample for sample.  With ``rng``
+        (a :class:`numpy.random.Generator`), all scenarios are drawn from
+        that single stream.
+        """
+        if n_scenarios < 1:
+            raise ValueError("n_scenarios must be at least 1")
+        loads: List[Load] = []
+        for index in range(n_scenarios):
+            if rng is not None:
+                loads.append(generate_random_load(config=config, rng=rng))
+            else:
+                loads.append(generate_random_load(seed + index, config))
+        return ScenarioSet.from_loads(loads)
+
+    @property
+    def n_scenarios(self) -> int:
+        return len(self.loads)
+
+    @property
+    def max_epochs(self) -> int:
+        return self.currents.shape[1]
+
+    def __len__(self) -> int:
+        return self.n_scenarios
+
+    def subset(self, indices: Sequence[int]) -> "ScenarioSet":
+        """A scenario set containing only the given scenario rows."""
+        return ScenarioSet.from_loads([self.loads[i] for i in indices])
+
+    def tiled(self, times: int) -> "ScenarioSet":
+        """The scenario set repeated ``times`` times, lanes concatenated.
+
+        Used to sweep several policies in one lock-step batch (policy ``p``
+        owning lane block ``p``); the padded arrays are tiled directly, so
+        this is cheap even for large batches.
+        """
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        if times == 1:
+            return self
+        return ScenarioSet(
+            loads=self.loads * times,
+            currents=np.tile(self.currents, (times, 1)),
+            durations=np.tile(self.durations, (times, 1)),
+            n_epochs=np.tile(self.n_epochs, times),
+        )
+
+    def chunked(self, chunk_size: int) -> Iterator["ScenarioSet"]:
+        """Split into consecutive chunks of at most ``chunk_size`` scenarios.
+
+        A convenience for sharding one large sweep into smaller batches --
+        e.g. to bound peak memory, to feed :func:`repro.engine.parallel.
+        run_chunked` with pre-built scenario sets, or to spread a sweep
+        over several sessions.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        for start in range(0, self.n_scenarios, chunk_size):
+            yield ScenarioSet.from_loads(self.loads[start : start + chunk_size])

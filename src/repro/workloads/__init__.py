@@ -16,6 +16,7 @@ from repro.workloads.profiles import (
     PAPER_LOAD_NAMES,
 )
 from repro.workloads.generator import (
+    ILS_LIKE_RANDOM_CONFIG,
     RandomLoadConfig,
     generate_random_load,
     bursty_load,
@@ -40,6 +41,7 @@ __all__ = [
     "random_intermittent_load",
     "paper_loads",
     "PAPER_LOAD_NAMES",
+    "ILS_LIKE_RANDOM_CONFIG",
     "RandomLoadConfig",
     "generate_random_load",
     "bursty_load",

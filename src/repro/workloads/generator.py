@@ -47,31 +47,81 @@ class RandomLoadConfig:
             raise ValueError("duration_step must be positive")
 
 
+#: The canonical ILs-like random-load configuration: mixed 250/500 mA jobs
+#: with idle gaps, the sweep the Monte-Carlo layer, the random-load
+#: benchmark and the batch-sweep example all share.
+ILS_LIKE_RANDOM_CONFIG = RandomLoadConfig(
+    levels=(0.25, 0.5),
+    job_duration_range=(0.5, 1.5),
+    idle_duration_range=(0.5, 2.0),
+    total_duration=120.0,
+    duration_step=0.25,
+)
+
+
 def _round_to_step(value: float, step: float) -> float:
     return max(step, round(value / step) * step)
 
 
-def generate_random_load(seed: int, config: Optional[RandomLoadConfig] = None) -> Load:
-    """Generate a random job/idle load according to ``config``."""
+def _uniform(rng, low: float, high: float) -> float:
+    """Uniform draw from either a ``random.Random`` or a numpy Generator."""
+    return float(rng.uniform(low, high))
+
+
+def _choice(rng, options: Sequence[float]) -> float:
+    """Uniform pick from either a ``random.Random`` or a numpy Generator.
+
+    numpy's ``Generator.choice`` would return a numpy scalar (and consume
+    the stream differently across numpy versions), so the numpy branch
+    draws an index with ``integers`` instead.
+    """
+    if isinstance(rng, random.Random):
+        return rng.choice(list(options))
+    return float(options[int(rng.integers(len(options)))])
+
+
+def generate_random_load(
+    seed: Optional[int] = None,
+    config: Optional[RandomLoadConfig] = None,
+    rng=None,
+) -> Load:
+    """Generate a random job/idle load according to ``config``.
+
+    Randomness comes from exactly one of two sources:
+
+    * ``seed`` -- a fresh ``random.Random(seed)`` stream, byte-for-byte the
+      sequence this generator has always produced (the Monte-Carlo layer
+      relies on this for sample-for-sample comparability between its scalar
+      and batch engines);
+    * ``rng`` -- an explicit ``random.Random`` or
+      :class:`numpy.random.Generator`, advanced in place, for callers that
+      thread one stream through a whole experiment.
+    """
     cfg = config if config is not None else RandomLoadConfig()
-    rng = random.Random(seed)
+    if rng is None:
+        if seed is None:
+            raise ValueError("provide either a seed or an rng")
+        rng = random.Random(seed)
+    elif seed is not None:
+        raise ValueError("provide either a seed or an rng, not both")
     epochs: List[Epoch] = []
     elapsed = 0.0
     while elapsed < cfg.total_duration:
-        current = rng.choice(list(cfg.levels))
+        current = _choice(rng, cfg.levels)
         job_duration = _round_to_step(
-            rng.uniform(*cfg.job_duration_range), cfg.duration_step
+            _uniform(rng, *cfg.job_duration_range), cfg.duration_step
         )
         epochs.append(job_epoch(current, job_duration))
         elapsed += job_duration
         idle_low, idle_high = cfg.idle_duration_range
         if idle_high > 0.0:
-            idle_duration = rng.uniform(idle_low, idle_high)
+            idle_duration = _uniform(rng, idle_low, idle_high)
             idle_duration = round(idle_duration / cfg.duration_step) * cfg.duration_step
             if idle_duration > 0.0:
                 epochs.append(idle_epoch(idle_duration))
                 elapsed += idle_duration
-    return Load(name=f"random(seed={seed})", epochs=tuple(epochs))
+    name = f"random(seed={seed})" if seed is not None else "random(rng)"
+    return Load(name=name, epochs=tuple(epochs))
 
 
 def bursty_load(
