@@ -16,6 +16,9 @@ and Katoen (DSN 2009):
   KiBaM kernels, array policies and a lock-step many-scenario simulator
   for fleet-scale sweeps (plus a multiprocessing executor for workloads
   that scale across cores),
+* :mod:`repro.sweep` -- declarative experiment orchestration: sweep specs
+  over battery-parameter grids, loads and policies, a content-addressed
+  result store with chunked resume, and the ``python -m repro sweep`` CLI,
 * :mod:`repro.analysis` -- the experiment layer regenerating every table
   and figure of the paper.
 
@@ -67,9 +70,18 @@ from repro.engine import (
     BatchSimulator,
     ScenarioSet,
 )
+from repro.sweep import (
+    BatteryConfig,
+    LoadAxis,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    battery_grid,
+    builtin_specs,
+)
 from repro.analysis.montecarlo import run_montecarlo
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "B1",
@@ -102,6 +114,13 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "ScenarioSet",
+    "BatteryConfig",
+    "LoadAxis",
+    "ResultStore",
+    "SweepRunner",
+    "SweepSpec",
+    "battery_grid",
+    "builtin_specs",
     "run_montecarlo",
     "__version__",
 ]

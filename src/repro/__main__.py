@@ -1,0 +1,34 @@
+"""``python -m repro``: the command-line entry point of the reproduction.
+
+Currently one command family is exposed -- the sweep orchestrator::
+
+    python -m repro sweep specs
+    python -m repro sweep run --spec table5
+    python -m repro sweep status
+    python -m repro sweep show --spec table5
+
+Further subcommands hang off the same dispatcher as the system grows.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(rest)
+    print(f"unknown command {command!r}; known commands: sweep", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -136,6 +136,7 @@ def run_montecarlo(
     optimal_max_nodes: Optional[int] = 20_000,
     n_workers: int = 1,
     loads: Optional[Sequence[Load]] = None,
+    cache_dir: Optional[str] = None,
 ) -> MonteCarloResult:
     """Sample random loads and summarize the policy lifetimes on them.
 
@@ -165,17 +166,39 @@ def run_montecarlo(
             array code and ignores this).
         loads: explicit sample loads, overriding the random sampling; the
             length overrides ``n_samples``.
+        cache_dir: directory of a :class:`repro.sweep.store.ResultStore`.
+            When given and the batch engine executes the sweep, the
+            deterministic-policy lifetimes are routed through the sweep
+            result store: a repeated call with the same seed/config/params
+            (or the same explicit loads) is a pure cache read instead of a
+            re-simulation, and an interrupted sweep resumes chunk by chunk.
+            The store is keyed by spec content, so scalar re-verification
+            runs (``engine="scalar"``), explicit ``rng`` streams and
+            non-string policy objects bypass it; the optimal-scheduler
+            column is always computed fresh.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known engines: {ENGINES}")
+    load_config = config if config is not None else ILS_LIKE_RANDOM_CONFIG
+    # Sampling is deferred: a fully cached store run never touches the
+    # random loads, so drawing them here would put the (Python-loop) load
+    # generation back on the cache-hit path.
+    _scenarios: List[Optional[ScenarioSet]] = [None]
+
+    def get_scenarios() -> ScenarioSet:
+        if _scenarios[0] is None:
+            if loads is not None:
+                _scenarios[0] = ScenarioSet.from_loads(list(loads))
+            else:
+                _scenarios[0] = ScenarioSet.random(
+                    n_samples, load_config, seed=seed, rng=rng
+                )
+        return _scenarios[0]
+
     if loads is not None:
-        scenarios = ScenarioSet.from_loads(list(loads))
-    else:
-        if n_samples < 1:
-            raise ValueError("n_samples must be at least 1")
-        load_config = config if config is not None else ILS_LIKE_RANDOM_CONFIG
-        scenarios = ScenarioSet.random(n_samples, load_config, seed=seed, rng=rng)
-    n_samples = scenarios.n_scenarios
+        n_samples = len(loads)
+    elif n_samples < 1:
+        raise ValueError("n_samples must be at least 1")
 
     # Policies may be registry names or policy objects (vector or scalar);
     # the result columns are always keyed by the policy's name.
@@ -196,10 +219,47 @@ def run_montecarlo(
     # fallback and is labelled accordingly.
     executed_engine = "batch" if (engine == "batch" and vectorizable) else "scalar"
 
+    use_store = (
+        cache_dir is not None
+        and engine == "batch"
+        and vectorizable
+        and rng is None
+        and all(isinstance(policy, str) for policy in policies)
+    )
+
     per_sample: Dict[str, List[float]] = {}
-    if engine == "batch":
+    if use_store:
+        # Route the deterministic-policy sweep through the content-addressed
+        # sweep store: the spec below reproduces this call's samples exactly
+        # (seeded sampling draws load i with seed + i on both paths), so a
+        # repeated distribution with the same seed/spec is a cache hit.
+        from repro.sweep import (
+            BatteryConfig,
+            LoadAxis,
+            ResultStore,
+            SweepRunner,
+            SweepSpec,
+        )
+
+        if loads is not None:
+            axis = LoadAxis.explicit(list(loads), label="montecarlo")
+        else:
+            axis = LoadAxis.random(n_samples, seed=seed, config=load_config)
+        spec = SweepSpec(
+            name="montecarlo",
+            batteries=(BatteryConfig(label="batteries", params=tuple(params)),),
+            loads=(axis,),
+            policies=tuple(names),
+            backend=backend,
+        )
+        sweep_result = SweepRunner(ResultStore(cache_dir)).run(spec)
+        for name in names:
+            per_sample[name] = _require_lifetimes(
+                sweep_result.per_sample[name], name
+            )
+    elif engine == "batch":
         simulator = BatchSimulator(params, backend=backend)
-        results = simulator.run_many(scenarios, list(policies))
+        results = simulator.run_many(get_scenarios(), list(policies))
         for name in names:
             per_sample[name] = _require_lifetimes(
                 results[name].lifetimes.tolist(), name
@@ -218,13 +278,15 @@ def run_montecarlo(
                     policy_name=policy,
                     backend=backend,
                 )
-                lifetimes = run_chunked(worker, scenarios.loads, n_workers=n_workers)
+                lifetimes = run_chunked(
+                    worker, get_scenarios().loads, n_workers=n_workers
+                )
             else:
                 # Policy objects are not safely picklable (state, custom
                 # classes), so they always run inline.
                 lifetimes = [
                     simulate_policy(params, load, policy, backend=backend).lifetime
-                    for load in scenarios.loads
+                    for load in get_scenarios().loads
                 ]
             per_sample[name] = _require_lifetimes(lifetimes, name)
 
@@ -236,7 +298,7 @@ def run_montecarlo(
                 backend=backend,
                 max_nodes=optimal_max_nodes,
             )
-            optima = run_chunked(worker, scenarios.loads, n_workers=n_workers)
+            optima = run_chunked(worker, get_scenarios().loads, n_workers=n_workers)
         else:
             optima = [
                 find_optimal_schedule(
@@ -246,7 +308,7 @@ def run_montecarlo(
                     dominance_tolerance=0.005,
                     max_nodes=optimal_max_nodes,
                 ).lifetime
-                for load in scenarios.loads
+                for load in get_scenarios().loads
             ]
         per_sample["optimal"] = _require_lifetimes(optima, "optimal")
 

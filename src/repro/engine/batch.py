@@ -22,7 +22,7 @@ scenario at a time.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -103,8 +103,13 @@ class BatchSimulator:
     """Simulates one battery set serving many scenario loads in lock-step.
 
     Args:
-        params: battery parameter sets, one per battery; shared by every
-            scenario in a batch.
+        params: either one battery parameter set per battery (a flat
+            sequence of :class:`BatteryParameters`, shared by every scenario
+            in a batch) or one *row* of parameter sets per scenario (a
+            sequence of sequences, all of the same width) -- the
+            parameter-sweep form, where every scenario lane carries its own
+            battery triples and batches must have exactly one scenario per
+            row.
         backend: ``"analytical"`` runs the vectorized engine; any other
             registered backend (``"discrete"``, ``"linear"``) runs through
             the scalar fallback.
@@ -113,22 +118,39 @@ class BatchSimulator:
 
     def __init__(
         self,
-        params: Sequence[BatteryParameters],
+        params: Union[
+            Sequence[BatteryParameters], Sequence[Sequence[BatteryParameters]]
+        ],
         backend: str = "analytical",
         time_step: float = 0.01,
         charge_unit: float = 0.01,
     ) -> None:
+        params = tuple(params)
         if not params:
             raise ValueError("at least one battery parameter set is required")
-        self.params = tuple(params)
+        if isinstance(params[0], BatteryParameters):
+            self.params: Tuple = params
+            self.param_rows: Optional[Tuple[Tuple[BatteryParameters, ...], ...]] = None
+            self._kernel_params = KernelParams.from_parameters(params)
+        else:
+            rows = tuple(tuple(row) for row in params)
+            self._kernel_params = KernelParams.from_parameter_rows(rows)
+            self.params = rows
+            self.param_rows = rows
         self.backend = backend
         self.time_step = time_step
         self.charge_unit = charge_unit
-        self._kernel_params = KernelParams.from_parameters(self.params)
 
     @property
     def n_batteries(self) -> int:
-        return len(self.params)
+        return self._kernel_params.n_batteries
+
+    def _check_scenario_count(self, scenarios: ScenarioSet) -> None:
+        if self.param_rows is not None and len(self.param_rows) != scenarios.n_scenarios:
+            raise ValueError(
+                f"per-scenario parameters cover {len(self.param_rows)} "
+                f"scenarios, but the batch has {scenarios.n_scenarios}"
+            )
 
     def run(
         self,
@@ -138,6 +160,7 @@ class BatchSimulator:
         """Simulate ``policy`` on every scenario and return the batch result."""
         if not isinstance(scenarios, ScenarioSet):
             scenarios = ScenarioSet.from_loads(scenarios)
+        self._check_scenario_count(scenarios)
         vector_policy = self._resolve_vector_policy(policy)
         if vector_policy is None or self.backend != "analytical":
             return self._run_fallback(scenarios, policy)
@@ -167,13 +190,18 @@ class BatchSimulator:
             )
         if not isinstance(scenarios, ScenarioSet):
             scenarios = ScenarioSet.from_loads(scenarios)
+        self._check_scenario_count(scenarios)
         resolved = [(policy, self._resolve_vector_policy(policy)) for policy in policies]
         results: Dict[str, BatchResult] = {}
 
         vector = [v for _, v in resolved if v is not None]
         if self.backend == "analytical" and len(vector) > 1:
             stack = VectorPolicyStack(vector, scenarios.n_scenarios)
-            stacked = self._run_vectorized(scenarios.tiled(len(vector)), stack)
+            stacked = self._run_vectorized(
+                scenarios.tiled(len(vector)),
+                stack,
+                kp=self._kernel_params.tiled(len(vector)),
+            )
             n = scenarios.n_scenarios
             for index, policy in enumerate(vector):
                 lanes = slice(index * n, (index + 1) * n)
@@ -207,9 +235,12 @@ class BatchSimulator:
         return None
 
     def _run_vectorized(
-        self, scenarios: ScenarioSet, policy: VectorPolicy
+        self,
+        scenarios: ScenarioSet,
+        policy: VectorPolicy,
+        kp: Optional[KernelParams] = None,
     ) -> BatchResult:
-        kp = self._kernel_params
+        kp = self._kernel_params if kp is None else kp
         n_scen = scenarios.n_scenarios
         n_bat = self.n_batteries
         currents = scenarios.currents
@@ -275,7 +306,7 @@ class BatchSimulator:
             crossed = np.zeros(0, dtype=bool)
             crossing = np.empty(0)
             if job_lanes.size:
-                margin = empty_margin_array(kp, state[job_lanes])
+                margin = empty_margin_array(kp.take(job_lanes), state[job_lanes])
                 alive = (~sticky[job_lanes]) & (margin > _EMPTY_TOLERANCE)
                 any_alive = np.any(alive, axis=1)
                 dead = job_lanes[~any_alive]
@@ -288,12 +319,13 @@ class BatchSimulator:
                 deciding = job_lanes[any_alive]
             if deciding.size:
                 deciding_rows = np.flatnonzero(any_alive)
+                kp_deciding = kp.take(deciding)
                 # The scalar battery view's available charge is
                 # ``max(0, c * margin)`` in exactly this operation order.
                 context = BatchDecisionContext(
                     lanes=deciding,
                     available_charge=np.maximum(
-                        0.0, kp.c * margin[deciding_rows]
+                        0.0, kp_deciding.c * margin[deciding_rows]
                     ),
                     alive=alive[deciding_rows],
                     current=cur_current[deciding],
@@ -317,9 +349,10 @@ class BatchSimulator:
                         f"policy {policy.name!r} chose a battery that is already empty"
                     )
                 decisions[deciding] += 1
+                c_chosen, k_chosen = kp_deciding.battery(choice)
                 crossing, crossed = time_to_empty_array(
-                    kp.c[choice],
-                    kp.k_prime[choice],
+                    c_chosen,
+                    k_chosen,
                     state[deciding, choice, GAMMA],
                     state[deciding, choice, DELTA],
                     cur_current[deciding],
@@ -344,7 +377,7 @@ class BatchSimulator:
 
             old = state[stepping]
             new = step_constant_current_array(
-                kp, old, battery_currents, span[:, None]
+                kp.take(stepping), old, battery_currents, span[:, None]
             )
             # Batteries observed empty stay frozen, exactly like the scalar
             # adapter's sticky ``_MarkedState``.
@@ -360,7 +393,9 @@ class BatchSimulator:
                 if hit.size:
                     hit_lanes = deciding[hit]
                     sticky[hit_lanes, choice[hit]] = True
-                    margin_after = empty_margin_array(kp, state[hit_lanes])
+                    margin_after = empty_margin_array(
+                        kp.take(hit_lanes), state[hit_lanes]
+                    )
                     alive_after = (~sticky[hit_lanes]) & (
                         margin_after > _EMPTY_TOLERANCE
                     )
@@ -396,17 +431,29 @@ class BatchSimulator:
             policy = policy.name
         if isinstance(policy, str):
             policy = make_policy(policy)
-        models = make_battery_models(
-            self.params,
-            backend=self.backend,
-            time_step=self.time_step,
-            charge_unit=self.charge_unit,
+
+        def make_simulator(row_params: Sequence[BatteryParameters]) -> MultiBatterySimulator:
+            return MultiBatterySimulator(
+                make_battery_models(
+                    row_params,
+                    backend=self.backend,
+                    time_step=self.time_step,
+                    charge_unit=self.charge_unit,
+                )
+            )
+
+        shared_simulator = (
+            make_simulator(self.params) if self.param_rows is None else None
         )
-        simulator = MultiBatterySimulator(models)
         lifetimes = np.full(scenarios.n_scenarios, np.nan)
         decisions = np.zeros(scenarios.n_scenarios, dtype=np.int64)
         residual = np.zeros(scenarios.n_scenarios)
         for index, load in enumerate(scenarios.loads):
+            simulator = (
+                shared_simulator
+                if shared_simulator is not None
+                else make_simulator(self.param_rows[index])
+            )
             result = simulator.run(load, policy)
             if result.lifetime is not None:
                 lifetimes[index] = result.lifetime

@@ -41,11 +41,20 @@ _ROOT_MAX_ITER = 80
 
 @dataclasses.dataclass(frozen=True)
 class KernelParams:
-    """Per-battery KiBaM parameters in array form, shape ``(n_batteries,)``.
+    """KiBaM parameters in array form.
 
-    The batch simulator shares one battery set across all scenarios, so the
-    parameter arrays broadcast against ``(n_scenarios, n_batteries)`` state
-    slices.
+    Two shapes are supported, distinguished by :attr:`per_scenario`:
+
+    * ``(n_batteries,)`` -- one battery set *shared* by every scenario of a
+      batch (the original engine contract); the arrays broadcast against
+      ``(n_scenarios, n_batteries)`` state slices.
+    * ``(n_scenarios, n_batteries)`` -- one battery set *per scenario*, the
+      parameter-sweep lever: every scenario lane may carry its own
+      capacity/c/k' triple and the kernels stay a single NumPy call.
+
+    The shared form is left untouched by the lane-alignment helpers
+    (:meth:`take`, :meth:`tiled`), so the floating-point operation order of
+    shared-parameter batches is bit-identical to the pre-sweep engine.
     """
 
     capacity: np.ndarray
@@ -62,17 +71,91 @@ class KernelParams:
             k_prime=np.array([p.k_prime for p in params], dtype=np.float64),
         )
 
+    @staticmethod
+    def from_parameter_rows(
+        rows: Sequence[Sequence[BatteryParameters]],
+    ) -> "KernelParams":
+        """Per-scenario parameters: one row of battery sets per scenario."""
+        if not rows:
+            raise ValueError("at least one scenario parameter row is required")
+        widths = {len(row) for row in rows}
+        if widths == {0}:
+            raise ValueError("at least one battery parameter set is required")
+        if len(widths) != 1:
+            raise ValueError(
+                f"every scenario needs the same number of batteries, got row "
+                f"widths {sorted(widths)}"
+            )
+        return KernelParams(
+            capacity=np.array([[p.capacity for p in row] for row in rows]),
+            c=np.array([[p.c for p in row] for row in rows]),
+            k_prime=np.array([[p.k_prime for p in row] for row in rows]),
+        )
+
+    @property
+    def per_scenario(self) -> bool:
+        """Whether the parameters vary along a scenario axis."""
+        return self.capacity.ndim == 2
+
     @property
     def n_batteries(self) -> int:
-        return self.capacity.shape[0]
+        return self.capacity.shape[-1]
+
+    @property
+    def n_scenarios(self) -> "int | None":
+        """Scenario count of per-scenario parameters, ``None`` when shared."""
+        return self.capacity.shape[0] if self.per_scenario else None
+
+    def take(self, lanes: np.ndarray) -> "KernelParams":
+        """Parameters row-aligned with the given scenario lanes.
+
+        Shared parameters broadcast against any lane subset, so they are
+        returned as-is (preserving the exact pre-sweep operation order);
+        per-scenario parameters are row-indexed.
+        """
+        if not self.per_scenario:
+            return self
+        return KernelParams(
+            capacity=self.capacity[lanes],
+            c=self.c[lanes],
+            k_prime=self.k_prime[lanes],
+        )
+
+    def battery(self, choice: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(c, k_prime)`` of one chosen battery per row, shape ``(K,)``.
+
+        ``self`` must already be row-aligned with ``choice`` (via
+        :meth:`take` for per-scenario parameters).
+        """
+        if self.per_scenario:
+            rows = np.arange(choice.shape[0])
+            return self.c[rows, choice], self.k_prime[rows, choice]
+        return self.c[choice], self.k_prime[choice]
+
+    def tiled(self, times: int) -> "KernelParams":
+        """Scenario rows repeated ``times`` times (for stacked policy runs)."""
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        if not self.per_scenario or times == 1:
+            return self
+        return KernelParams(
+            capacity=np.tile(self.capacity, (times, 1)),
+            c=np.tile(self.c, (times, 1)),
+            k_prime=np.tile(self.k_prime, (times, 1)),
+        )
 
 
 def initial_state_array(kp: KernelParams, n_scenarios: int) -> np.ndarray:
     """Fully charged batch state of shape ``(n_scenarios, n_batteries, 2)``."""
     if n_scenarios < 1:
         raise ValueError("n_scenarios must be at least 1")
+    if kp.per_scenario and kp.n_scenarios != n_scenarios:
+        raise ValueError(
+            f"per-scenario parameters cover {kp.n_scenarios} scenarios, "
+            f"but the batch has {n_scenarios}"
+        )
     state = np.zeros((n_scenarios, kp.n_batteries, 2), dtype=np.float64)
-    state[:, :, GAMMA] = kp.capacity[None, :]
+    state[:, :, GAMMA] = kp.capacity if kp.per_scenario else kp.capacity[None, :]
     return state
 
 

@@ -5,10 +5,19 @@ Time is discretized in ticks of size ``T`` minutes, the total charge in
 units of ``Gamma / c``.  Two processes change the state:
 
 * **discharge**: at a constant current ``I`` it takes ``Gamma / (I * T)``
-  ticks to draw one charge unit; every draw removes ``cur`` charge units
-  from the total charge counter ``n`` and adds ``cur`` units to the height
-  difference counter ``m`` (equation (7) of the paper relates ``cur`` and
-  ``cur_times`` to the current);
+  ticks to draw one charge unit; equation (7) of the paper represents the
+  current by an integer pair drawing ``cur`` charge units per ``cur_times``
+  ticks.  The paper's TA-KiBaM removes all ``cur`` units in one lump at the
+  end of each window; this module spreads the same budget one unit at a
+  time (a Bresenham accumulator gains ``cur`` per tick and a unit moves
+  from the total charge counter ``n`` to the height difference counter
+  ``m`` each time it reaches ``cur_times``).  Both schemes are identical
+  whenever ``cur == 1`` -- which covers every load of the paper at the
+  reference discretization -- but the spread form stays accurate for
+  currents whose smallest integer representation has ``cur > 1`` (e.g.
+  0.124 A at ``T = Gamma = 0.01`` is 31 units per 250 ticks: drawn as one
+  2.5-minute lump the model overestimated low-current lifetimes by tens of
+  percent, spread evenly it tracks the analytical model again);
 * **recovery**: the height difference decays according to
   ``delta(t) = delta(0) * exp(-k' t)``; the number of ticks needed to drop
   from ``m`` units to ``m - 1`` units is ``round(-ln((m-1)/m) / (k' T))``
@@ -38,8 +47,10 @@ Segment = Tuple[float, float]
 class DischargeSpec:
     """Integer discharge specification for one epoch of the dKiBaM.
 
-    ``cur`` charge units are drawn every ``cur_times`` ticks, so the
+    ``cur`` charge units are drawn per ``cur_times`` ticks, so the
     represented current is ``cur * Gamma / (cur_times * T)`` (equation (7)).
+    The simulator spreads the draws one unit at a time (see the module
+    docstring); the pair only fixes the *rate*.
     """
 
     cur: int
@@ -67,7 +78,15 @@ class DiscreteBatteryState:
     Attributes:
         n: remaining total charge in charge units.
         m: height difference in height units.
-        disch_ticks: ticks elapsed since the last charge-unit draw.
+        disch_ticks: discharge accumulator; it gains ``cur`` per discharging
+            tick and one charge unit is drawn each time it reaches
+            ``cur_times`` (for ``cur == 1`` this is exactly "ticks since the
+            last draw").
+        disch_rate: the ``(cur, cur_times)`` pair the accumulator was built
+            under.  The accumulator value is only meaningful relative to its
+            rate, so a tick under a *different* spec restarts it at zero --
+            otherwise ticks banked at a slow rate would drain as a burst of
+            draws the moment a faster epoch begins.
         recov_ticks: ticks elapsed since the last height-unit recovery.
         empty: whether the battery has been observed empty.
     """
@@ -75,6 +94,7 @@ class DiscreteBatteryState:
     n: int
     m: int
     disch_ticks: int = 0
+    disch_rate: Tuple[int, int] = (0, 1)
     recov_ticks: int = 0
     empty: bool = False
 
@@ -230,29 +250,43 @@ class DiscreteKibam:
         else:
             recov_ticks = 0
 
-        # Discharge process.
+        # Discharge process: the accumulator gains ``cur`` per tick and one
+        # charge unit moves from n to m each time it reaches ``cur_times``,
+        # which spreads equation (7)'s draw budget evenly instead of in
+        # ``cur``-unit lumps (identical for cur == 1; see module docstring).
+        # Checking emptiness per drawn unit also makes the empty observation
+        # as fine-grained as the charge unit allows.  The accumulator is
+        # only meaningful relative to its rate: a rate change (a new epoch
+        # current, or resuming after idle) restarts it at zero.
         discharging = spec is not None and not spec.is_idle
+        disch_rate = state.disch_rate
         if discharging:
             assert spec is not None
-            disch_ticks += 1
-            if disch_ticks >= spec.cur_times:
+            rate = (spec.cur, spec.cur_times)
+            if rate != disch_rate:
+                disch_ticks = 0
+                disch_rate = rate
+            disch_ticks += spec.cur
+            while disch_ticks >= spec.cur_times and not became_empty:
                 if (1000 - self.c_permille) * m >= self.c_permille * n:
                     # Already empty at the draw instant (can happen when the
                     # battery is switched on in an almost-empty state).
                     became_empty = True
                 else:
-                    n -= spec.cur
-                    m += spec.cur
-                    disch_ticks = 0
+                    n -= 1
+                    m += 1
+                    disch_ticks -= spec.cur_times
                     if (1000 - self.c_permille) * m >= self.c_permille * n:
                         became_empty = True
         else:
             disch_ticks = 0
+            disch_rate = (0, 1)
 
         return DiscreteBatteryState(
             n=n,
             m=m,
             disch_ticks=disch_ticks,
+            disch_rate=disch_rate,
             recov_ticks=recov_ticks,
             empty=became_empty,
         )

@@ -1,0 +1,47 @@
+"""Declarative experiment orchestration with a content-addressed store.
+
+Where :mod:`repro.engine` answers "simulate these scenarios fast", this
+subsystem answers "describe a whole experiment campaign, run exactly the
+missing part of it, and never compute the same thing twice":
+
+* :mod:`repro.sweep.spec` -- :class:`SweepSpec`: grids over battery
+  parameters, load families (paper loads, generators, seeded random
+  samples) and scheduling policies, expanded deterministically into
+  scenario chunks and content-hashed for addressing,
+* :mod:`repro.sweep.store` -- :class:`ResultStore`: chunked NPZ records
+  under ``<store>/<spec_hash>/`` with atomic writes, so re-runs are cache
+  hits and interrupted campaigns resume from the last completed chunk,
+* :mod:`repro.sweep.runner` -- :class:`SweepRunner`: dispatches pending
+  chunks through the vectorized batch engine (using per-scenario battery
+  parameter arrays for mixed-parameter chunks) and aggregates
+  analysis-ready tables,
+* :mod:`repro.sweep.builtin` -- the paper campaigns (``table5``,
+  ``table6``, ``ils-random``),
+* :mod:`repro.sweep.cli` -- ``python -m repro sweep run/status/show``.
+"""
+
+from repro.sweep.builtin import builtin_specs
+from repro.sweep.runner import SweepResult, SweepRunner, SweepStats, SweepTableRow
+from repro.sweep.spec import (
+    BatteryConfig,
+    LoadAxis,
+    ScenarioPoint,
+    SweepSpec,
+    battery_grid,
+)
+from repro.sweep.store import ResultStore, StoreEntry
+
+__all__ = [
+    "BatteryConfig",
+    "LoadAxis",
+    "ResultStore",
+    "ScenarioPoint",
+    "StoreEntry",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "SweepStats",
+    "SweepTableRow",
+    "battery_grid",
+    "builtin_specs",
+]

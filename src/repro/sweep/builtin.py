@@ -1,0 +1,87 @@
+"""Built-in sweep specifications reproducing the paper's experiments.
+
+These are the campaigns behind the paper's multi-battery results, expressed
+as declarative specs so that ``python -m repro sweep run --spec table5``
+reproduces (and caches) them:
+
+* ``table5`` -- Table 5: two B1 batteries under the ten test loads,
+  comparing the deterministic scheduling policies.  The paper's fourth
+  column (the optimal scheduler) is a branch-and-bound search rather than a
+  policy and is reproduced separately by
+  ``benchmarks/test_table5_scheduling.py``.
+* ``table6`` -- the Section 6 capacity-scaling experiment behind the
+  paper's larger-battery discussion: the same two-battery system with the
+  capacity scaled 1x/2x/5x/10x under long continuous and intermittent
+  loads, where the residual-charge fraction collapses as capacity grows.
+* ``ils-random`` -- the random-load extension (Section 7 outlook): lifetime
+  distributions of the policies over seeded random ILs-like loads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.kibam.parameters import B1
+from repro.sweep.spec import BatteryConfig, LoadAxis, SweepSpec
+from repro.workloads.generator import ILS_LIKE_RANDOM_CONFIG
+
+#: The paper's deterministic scheduling policies (Section 6).
+PAPER_POLICIES = ("sequential", "round-robin", "best-of-two")
+
+
+def builtin_specs() -> Dict[str, SweepSpec]:
+    """All built-in sweep specs, keyed by CLI name."""
+    two_b1 = BatteryConfig(label="2xB1", params=(B1, B1))
+
+    table5 = SweepSpec(
+        name="table5",
+        description=(
+            "Table 5: two B1 batteries under the paper's ten test loads, "
+            "sequential vs round-robin vs best-of-two"
+        ),
+        batteries=(two_b1,),
+        loads=(LoadAxis.paper(),),
+        policies=PAPER_POLICIES,
+    )
+
+    scaled_configs = tuple(
+        BatteryConfig(
+            label=f"2xB1 x{scale:g}",
+            params=(B1.scaled(scale), B1.scaled(scale)),
+        )
+        for scale in (1.0, 2.0, 5.0, 10.0)
+    )
+    table6 = SweepSpec(
+        name="table6",
+        description=(
+            "Section 6 capacity scaling: the two-battery system at 1x/2x/5x/"
+            "10x capacity under long CL 250 and ILs 500 loads"
+        ),
+        batteries=scaled_configs,
+        loads=(
+            LoadAxis.generator(
+                "continuous", label="CL 250", current=0.25, total_duration=600.0
+            ),
+            LoadAxis.generator(
+                "intermittent",
+                label="ILs 500",
+                current=0.5,
+                idle_duration=1.0,
+                total_duration=600.0,
+            ),
+        ),
+        policies=PAPER_POLICIES,
+    )
+
+    ils_random = SweepSpec(
+        name="ils-random",
+        description=(
+            "Random-load extension: policy lifetime distributions over 200 "
+            "seeded ILs-like random loads on two B1 batteries"
+        ),
+        batteries=(two_b1,),
+        loads=(LoadAxis.random(200, seed=0, config=ILS_LIKE_RANDOM_CONFIG),),
+        policies=PAPER_POLICIES,
+    )
+
+    return {spec.name: spec for spec in (table5, table6, ils_random)}

@@ -1,0 +1,188 @@
+"""Command-line interface for the sweep subsystem.
+
+Exposed through ``python -m repro``::
+
+    python -m repro sweep specs                      # list built-in campaigns
+    python -m repro sweep run --spec table5          # run (resume) a campaign
+    python -m repro sweep run --spec-file my.json    # run a custom spec
+    python -m repro sweep status                     # what is in the store
+    python -m repro sweep show --spec table5         # aggregate stored results
+
+Results land in a content-addressed store (``--store``, default
+``.sweep-store/``); an immediate re-run of the same spec is a pure cache
+read, and a sweep interrupted mid-campaign resumes from the last completed
+chunk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.sweep.builtin import builtin_specs
+from repro.sweep.runner import SweepRunner
+from repro.sweep.spec import SweepSpec
+from repro.sweep.store import ResultStore
+
+#: Default on-disk location of the result store, relative to the CWD.
+DEFAULT_STORE = ".sweep-store"
+
+
+def _load_spec(args: argparse.Namespace) -> SweepSpec:
+    if getattr(args, "spec_file", None):
+        with open(args.spec_file) as handle:
+            payload = json.load(handle)
+        spec = SweepSpec.from_dict(payload)
+    elif getattr(args, "spec", None):
+        specs = builtin_specs()
+        if args.spec not in specs:
+            known = ", ".join(sorted(specs))
+            raise SystemExit(
+                f"unknown built-in spec {args.spec!r}; available: {known} "
+                "(or pass --spec-file)"
+            )
+        spec = specs[args.spec]
+    else:
+        raise SystemExit("pass --spec NAME or --spec-file PATH")
+    if getattr(args, "chunk_size", None) is not None:
+        if args.chunk_size < 1:
+            raise SystemExit(
+                f"--chunk-size must be at least 1, got {args.chunk_size}"
+            )
+        spec = SweepSpec.from_dict({**spec.to_dict(), "chunk_size": args.chunk_size})
+    return spec
+
+
+def _cmd_specs(args: argparse.Namespace) -> int:
+    for name, spec in sorted(builtin_specs().items()):
+        print(
+            f"{name:12s} {spec.spec_hash()}  {spec.n_scenarios:5d} scenarios "
+            f"x {len(spec.policies)} policies -- {spec.description}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args)
+    store = ResultStore(args.store)
+    runner = SweepRunner(store)
+    progress = None if args.quiet else lambda line: print(f"  {line}")
+    if not args.quiet:
+        print(
+            f"sweep {spec.name!r} [{spec.spec_hash()}]: "
+            f"{spec.n_scenarios} scenarios x {len(spec.policies)} policies, "
+            f"{spec.n_chunks} chunk(s), backend={spec.backend}"
+        )
+    result = runner.run(spec, force=args.force, progress=progress)
+    print(result.render())
+    stats = result.stats
+    rate = stats.scenarios_per_sec * len(spec.policies)
+    rate_note = f" ({rate:,.0f} scenario-policies/sec)" if stats.chunks_run else ""
+    print(
+        f"\nchunks: {stats.chunks_run} run, {stats.chunks_cached} cached; "
+        f"sweep time {stats.total_seconds:.2f}s"
+        f"{rate_note}\nstore: {store.entry_dir(spec.spec_hash())}"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if not store.exists:
+        print(f"store {store.root} does not exist (no sweep has written to it)")
+        return 0
+    entries = list(store.entries())
+    if not entries:
+        print(f"store {store.root} is empty")
+        return 0
+    for entry in entries:
+        state = "complete" if entry.complete else "partial "
+        print(
+            f"{entry.spec_hash}  {state}  {entry.completed_chunks:4d}/"
+            f"{entry.n_chunks:<4d} chunks  {entry.n_scenarios:6d} scenarios  "
+            f"{entry.name}"
+        )
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec: Optional[SweepSpec] = None
+    if getattr(args, "spec", None) or getattr(args, "spec_file", None):
+        spec = _load_spec(args)
+    elif getattr(args, "hash", None):
+        try:
+            entry = store.find(args.hash)
+        except ValueError as error:
+            raise SystemExit(str(error))
+        if entry is None:
+            raise SystemExit(f"no sweep matching {args.hash!r} in {store.root}")
+        spec = SweepSpec.from_dict(store.load_manifest(entry.spec_hash)["spec"])
+    else:
+        raise SystemExit("pass --spec NAME, --spec-file PATH or --hash PREFIX")
+    runner = SweepRunner(store)
+    try:
+        result = runner.load(spec)
+    except FileNotFoundError as error:
+        raise SystemExit(str(error))
+    print(result.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Declarative experiment sweeps with a cached result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=DEFAULT_STORE,
+            help=f"result store directory (default: {DEFAULT_STORE})",
+        )
+
+    def add_spec(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", help="built-in spec name (see `sweep specs`)")
+        p.add_argument("--spec-file", help="path to a JSON sweep spec")
+        p.add_argument(
+            "--chunk-size", type=int, help="override the spec's chunk size"
+        )
+
+    specs_parser = sub.add_parser("specs", help="list built-in sweep specs")
+    specs_parser.set_defaults(func=_cmd_specs)
+
+    run_parser = sub.add_parser("run", help="run (or resume) a sweep")
+    add_spec(run_parser)
+    add_store(run_parser)
+    run_parser.add_argument(
+        "--force", action="store_true", help="recompute chunks already stored"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-chunk progress"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    status_parser = sub.add_parser("status", help="list sweeps in the store")
+    add_store(status_parser)
+    status_parser.set_defaults(func=_cmd_status)
+
+    show_parser = sub.add_parser("show", help="aggregate stored sweep results")
+    add_spec(show_parser)
+    add_store(show_parser)
+    show_parser.add_argument("--hash", help="stored sweep hash prefix or name")
+    show_parser.set_defaults(func=_cmd_show)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

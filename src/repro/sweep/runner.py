@@ -1,0 +1,335 @@
+"""Sweep execution: expand a spec, dispatch chunks, aggregate results.
+
+:class:`SweepRunner` turns a declarative :class:`repro.sweep.spec.SweepSpec`
+into numbers.  Scenarios are cut into fixed chunks; each *pending* chunk is
+dispatched through :class:`repro.engine.batch.BatchSimulator` -- with
+per-scenario battery-parameter arrays whenever the chunk mixes battery
+configurations, so a whole parameter grid advances as one vectorized batch
+-- and persisted into the content-addressed
+:class:`repro.sweep.store.ResultStore`.  Chunks already on disk are loaded
+instead of recomputed, which makes re-runs cache hits and interrupted
+sweeps resume from the last completed chunk.
+
+The aggregated :class:`SweepResult` keeps the raw per-scenario arrays and
+offers the ``analysis``-layer views: grouped rows (battery configuration x
+load group, one mean lifetime column per policy) and full
+:class:`repro.analysis.montecarlo.LifetimeDistribution` summaries per group.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.batch import BatchSimulator
+from repro.sweep.spec import ScenarioPoint, SweepSpec
+from repro.sweep.store import ResultStore
+from repro.engine.scenarios import ScenarioSet
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Execution accounting for one runner invocation."""
+
+    n_scenarios: int = 0
+    n_chunks: int = 0
+    chunks_run: int = 0
+    chunks_cached: int = 0
+    scenarios_run: int = 0
+    run_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def scenarios_per_sec(self) -> float:
+        """Scenario throughput of the freshly simulated portion (0.0 if all cached)."""
+        if self.scenarios_run == 0 or self.run_seconds <= 0.0:
+            return 0.0
+        return self.scenarios_run / self.run_seconds
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepTableRow:
+    """One aggregated row: a battery configuration under one load group."""
+
+    battery_label: str
+    load_label: str
+    n_samples: int
+    mean_lifetimes: Dict[str, float]
+    survived: Dict[str, int]
+
+
+class SweepResult:
+    """Raw and aggregated outcome of one sweep.
+
+    Attributes:
+        spec: the spec that produced the result.
+        points: the expanded scenario points, in scenario order.
+        lifetimes / decisions / residual_charge: per-policy arrays over the
+            scenario axis (lifetimes are NaN where the batteries survived).
+        stats: execution accounting (cache hits, throughput).
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        points: Sequence[ScenarioPoint],
+        lifetimes: Dict[str, np.ndarray],
+        decisions: Dict[str, np.ndarray],
+        residual_charge: Dict[str, np.ndarray],
+        stats: SweepStats,
+    ) -> None:
+        self.spec = spec
+        self.points = list(points)
+        self.lifetimes = lifetimes
+        self.decisions = decisions
+        self.residual_charge = residual_charge
+        self.stats = stats
+
+    @property
+    def per_sample(self) -> Dict[str, List[float]]:
+        """Per-policy lifetime lists in scenario order (NaN = survived)."""
+        return {
+            policy: [float(value) for value in values]
+            for policy, values in self.lifetimes.items()
+        }
+
+    def groups(self) -> List[Tuple[Tuple[str, str], List[int]]]:
+        """Scenario indices grouped by (battery label, load group label)."""
+        order: List[Tuple[str, str]] = []
+        members: Dict[Tuple[str, str], List[int]] = {}
+        for point in self.points:
+            key = (point.battery_label, point.load_label)
+            if key not in members:
+                members[key] = []
+                order.append(key)
+            members[key].append(point.index)
+        return [(key, members[key]) for key in order]
+
+    def table(self) -> List[SweepTableRow]:
+        """Aggregated rows, one per (battery, load group), in spec order."""
+        rows: List[SweepTableRow] = []
+        for (battery_label, load_label), indices in self.groups():
+            idx = np.asarray(indices)
+            means: Dict[str, float] = {}
+            survived: Dict[str, int] = {}
+            for policy in self.spec.policies:
+                values = self.lifetimes[policy][idx]
+                finite = values[~np.isnan(values)]
+                means[policy] = float(finite.mean()) if finite.size else float("nan")
+                survived[policy] = int(np.isnan(values).sum())
+            rows.append(
+                SweepTableRow(
+                    battery_label=battery_label,
+                    load_label=load_label,
+                    n_samples=len(indices),
+                    mean_lifetimes=means,
+                    survived=survived,
+                )
+            )
+        return rows
+
+    def distributions(self):
+        """Lifetime distributions per group and policy, ``analysis``-ready.
+
+        Returns a mapping ``(battery_label, load_label, policy) ->
+        LifetimeDistribution``; groups where a policy left survivors are
+        skipped for that policy (a survived load has no lifetime sample).
+        """
+        from repro.analysis.montecarlo import LifetimeDistribution
+
+        out = {}
+        for (battery_label, load_label), indices in self.groups():
+            idx = np.asarray(indices)
+            for policy in self.spec.policies:
+                values = self.lifetimes[policy][idx]
+                finite = values[~np.isnan(values)]
+                if finite.size == 0:
+                    continue
+                out[(battery_label, load_label, policy)] = (
+                    LifetimeDistribution.from_samples(policy, finite)
+                )
+        return out
+
+    def render(self) -> str:
+        """Plain-text aggregate table (the `sweep run` / `sweep show` view)."""
+        rows = self.table()
+        battery_width = max([len("batteries")] + [len(r.battery_label) for r in rows])
+        load_width = max([len("load")] + [len(r.load_label) for r in rows])
+        header = (
+            f"{'batteries':{battery_width}s}  {'load':{load_width}s}  {'n':>5s}  "
+            + "  ".join(f"{policy:>12s}" for policy in self.spec.policies)
+        )
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            cells = []
+            for policy in self.spec.policies:
+                mean = row.mean_lifetimes[policy]
+                survivors = row.survived[policy]
+                if survivors == row.n_samples:
+                    # No lifetime was measured at all for this cell.
+                    cells.append(f"{'survived':>12s}")
+                elif survivors:
+                    # Mean over the finite samples, survivors annotated,
+                    # padded to the common 12-character column.
+                    cells.append(f"{mean:.2f} +{survivors}s".rjust(12))
+                else:
+                    cells.append(f"{mean:12.2f}")
+            lines.append(
+                f"{row.battery_label:{battery_width}s}  "
+                f"{row.load_label:{load_width}s}  {row.n_samples:5d}  "
+                + "  ".join(cells)
+            )
+        return "\n".join(lines)
+
+
+class SweepRunner:
+    """Executes sweep specs, consulting and filling a result store.
+
+    Args:
+        store: the content-addressed result store; ``None`` disables
+            persistence entirely (every chunk is computed in memory).
+    """
+
+    def __init__(self, store: Optional[ResultStore] = None) -> None:
+        self.store = store
+
+    def run(
+        self,
+        spec: SweepSpec,
+        force: bool = False,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> SweepResult:
+        """Run (or load) every chunk of ``spec`` and aggregate the results.
+
+        Args:
+            spec: the campaign to execute.
+            force: recompute chunks even when they are already stored (the
+                fresh results overwrite the stored ones).
+            progress: optional callback receiving one line per chunk.
+        """
+        started = time.perf_counter()
+        bounds = spec.chunk_bounds()
+
+        spec_hash = None
+        if self.store is not None:
+            spec_hash = self.store.ensure_entry(spec)
+        # When every chunk is already stored, a re-run is a pure read: the
+        # label-only expansion skips load materialization (seeded random
+        # loads in particular), so cache hits cost file IO, not sampling.
+        fully_cached = (
+            not force
+            and self.store is not None
+            and len(self.store.completed_chunks(spec_hash, len(bounds)))
+            == len(bounds)
+        )
+        points = spec.expand_labels() if fully_cached else spec.expand()
+        stats = SweepStats(n_scenarios=len(points), n_chunks=len(bounds))
+
+        lifetimes = {
+            policy: np.full(len(points), np.nan) for policy in spec.policies
+        }
+        decisions = {
+            policy: np.zeros(len(points), dtype=np.int64) for policy in spec.policies
+        }
+        residual = {policy: np.zeros(len(points)) for policy in spec.policies}
+
+        for chunk_index, (start, stop) in enumerate(bounds):
+            cached = (
+                not force
+                and self.store is not None
+                and self.store.has_chunk(spec_hash, chunk_index)
+            )
+            if cached:
+                chunk_results = self.store.load_chunk(
+                    spec_hash, chunk_index, spec.policies
+                )
+                stats.chunks_cached += 1
+                if progress is not None:
+                    progress(
+                        f"chunk {chunk_index + 1}/{len(bounds)}: "
+                        f"{stop - start} scenarios (cached)"
+                    )
+            else:
+                chunk_started = time.perf_counter()
+                chunk_results = self._run_chunk(spec, points[start:stop])
+                elapsed = time.perf_counter() - chunk_started
+                stats.chunks_run += 1
+                stats.scenarios_run += stop - start
+                stats.run_seconds += elapsed
+                if self.store is not None:
+                    self.store.save_chunk(
+                        spec_hash, chunk_index, chunk_results, elapsed
+                    )
+                if progress is not None:
+                    progress(
+                        f"chunk {chunk_index + 1}/{len(bounds)}: "
+                        f"{stop - start} scenarios in {elapsed:.2f}s"
+                    )
+            for policy in spec.policies:
+                fields = chunk_results[policy]
+                lifetimes[policy][start:stop] = fields["lifetimes"]
+                decisions[policy][start:stop] = fields["decisions"]
+                residual[policy][start:stop] = fields["residual_charge"]
+
+        stats.total_seconds = time.perf_counter() - started
+        return SweepResult(
+            spec=spec,
+            points=points,
+            lifetimes=lifetimes,
+            decisions=decisions,
+            residual_charge=residual,
+            stats=stats,
+        )
+
+    def load(self, spec: SweepSpec) -> SweepResult:
+        """Aggregate a fully stored sweep without computing anything.
+
+        Raises ``FileNotFoundError`` when the store is missing chunks; use
+        :meth:`run` to fill the gaps.
+        """
+        if self.store is None:
+            raise ValueError("loading a sweep requires a result store")
+        spec_hash = spec.spec_hash()
+        missing = [
+            index
+            for index in range(spec.n_chunks)
+            if not self.store.has_chunk(spec_hash, index)
+        ]
+        if missing:
+            raise FileNotFoundError(
+                f"sweep {spec_hash} is missing {len(missing)} of "
+                f"{spec.n_chunks} chunks (first missing: {missing[0]}); "
+                "run it to completion first"
+            )
+        return self.run(spec)
+
+    # ------------------------------------------------------------------ #
+    def _run_chunk(
+        self, spec: SweepSpec, points: Sequence[ScenarioPoint]
+    ) -> Dict[str, Dict[str, np.ndarray]]:
+        scenario_set = ScenarioSet.from_loads([point.load for point in points])
+        rows = [point.battery_params for point in points]
+        # A homogeneous chunk takes the shared-parameter path (bit-identical
+        # to the pre-sweep engine); mixed chunks use per-scenario arrays.
+        # Homogeneity compares only the numeric triples -- the spec hash
+        # strips cosmetic parameter names, so two specs sharing a store
+        # entry must also share the execution path.
+        triples = {
+            tuple((p.capacity, p.c, p.k_prime) for p in row) for row in rows
+        }
+        if len(triples) == 1:
+            simulator = BatchSimulator(rows[0], backend=spec.backend)
+        else:
+            simulator = BatchSimulator(rows, backend=spec.backend)
+        results = simulator.run_many(scenario_set, list(spec.policies))
+        return {
+            policy: {
+                "lifetimes": results[policy].lifetimes,
+                "decisions": results[policy].decisions,
+                "residual_charge": results[policy].residual_charge,
+            }
+            for policy in spec.policies
+        }

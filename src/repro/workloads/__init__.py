@@ -17,10 +17,12 @@ from repro.workloads.profiles import (
 )
 from repro.workloads.generator import (
     ILS_LIKE_RANDOM_CONFIG,
+    LOAD_GENERATOR_REGISTRY,
     RandomLoadConfig,
     generate_random_load,
     bursty_load,
     duty_cycle_load,
+    make_load,
     sensor_node_load,
 )
 
@@ -42,9 +44,11 @@ __all__ = [
     "paper_loads",
     "PAPER_LOAD_NAMES",
     "ILS_LIKE_RANDOM_CONFIG",
+    "LOAD_GENERATOR_REGISTRY",
     "RandomLoadConfig",
     "generate_random_load",
     "bursty_load",
     "duty_cycle_load",
+    "make_load",
     "sensor_node_load",
 ]

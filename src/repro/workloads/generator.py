@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.workloads.load import Epoch, Load, idle_epoch, job_epoch
 
@@ -193,3 +193,50 @@ def sensor_node_load(
         epochs.append(job_epoch(transmit_current, transmit_duration, label="transmit"))
         epochs.append(idle_epoch(sleep_duration, label="sleep"))
     return Load(name=name, epochs=tuple(epochs))
+
+
+def _registry() -> Dict[str, Callable[..., Load]]:
+    # The profile generators live in repro.workloads.profiles, which does
+    # not import this module, so the late import only avoids a hard cycle
+    # if one is ever added there.
+    from repro.workloads.profiles import (
+        continuous_alternating_load,
+        continuous_load,
+        intermittent_alternating_load,
+        intermittent_load,
+        random_intermittent_load,
+    )
+
+    return {
+        "bursty": bursty_load,
+        "duty-cycle": duty_cycle_load,
+        "sensor-node": sensor_node_load,
+        "continuous": continuous_load,
+        "continuous-alternating": continuous_alternating_load,
+        "intermittent": intermittent_load,
+        "intermittent-alternating": intermittent_alternating_load,
+        "random-intermittent": random_intermittent_load,
+    }
+
+
+#: Named load generators, addressable from declarative sweep specifications
+#: (:mod:`repro.sweep`): a spec can say ``{"generator": "duty-cycle",
+#: "kwargs": {...}}`` instead of embedding epochs, which keeps specs small
+#: and their content hashes meaningful.
+LOAD_GENERATOR_REGISTRY: Dict[str, Callable[..., Load]] = _registry()
+
+
+def make_load(generator: str, **kwargs) -> Load:
+    """Build a load from a registered generator by name.
+
+    Raises ``ValueError`` for unknown generator names, listing the known
+    ones -- the error surface of declarative sweep specs.
+    """
+    try:
+        factory = LOAD_GENERATOR_REGISTRY[generator]
+    except KeyError:
+        known = ", ".join(sorted(LOAD_GENERATOR_REGISTRY))
+        raise ValueError(
+            f"unknown load generator {generator!r}; known generators: {known}"
+        ) from None
+    return factory(**kwargs)

@@ -448,3 +448,64 @@ class TestLifetimeDistributionEdgeCases:
         )
         for dist in result.distributions.values():
             assert dist.samples == 1 and dist.stdev == 0.0
+
+
+class TestPerScenarioKernelParams:
+    """Per-scenario battery-parameter arrays (the sweep lever) at the kernel level."""
+
+    def test_from_parameter_rows_shapes_and_lane_helpers(self):
+        rows = [(B1, B2), (SMALL, SMALLER), (B1, SMALL)]
+        kp = KernelParams.from_parameter_rows(rows)
+        assert kp.per_scenario
+        assert kp.capacity.shape == (3, 2)
+        assert kp.n_scenarios == 3 and kp.n_batteries == 2
+
+        taken = kp.take(np.array([2, 0]))
+        assert taken.capacity[0, 1] == SMALL.capacity
+        assert taken.capacity[1, 0] == B1.capacity
+
+        c, k = taken.battery(np.array([1, 0]))
+        assert c[0] == SMALL.c and k[1] == B1.k_prime
+
+        tiled = kp.tiled(2)
+        np.testing.assert_array_equal(tiled.capacity[3:], kp.capacity)
+
+    def test_shared_params_pass_through_lane_helpers(self):
+        kp = KernelParams.from_parameters([B1, B2])
+        assert not kp.per_scenario and kp.n_scenarios is None
+        assert kp.take(np.array([0])) is kp
+        assert kp.tiled(5) is kp
+
+    def test_initial_state_uses_per_scenario_capacity(self):
+        kp = KernelParams.from_parameter_rows([(B1, B1), (B2, B2)])
+        state = initial_state_array(kp, 2)
+        assert state[0, 0, 0] == B1.capacity
+        assert state[1, 1, 0] == B2.capacity
+        with pytest.raises(ValueError, match="per-scenario parameters"):
+            initial_state_array(kp, 3)
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="same number of batteries"):
+            KernelParams.from_parameter_rows([(B1, B2), (B1,)])
+
+    def test_heterogeneous_batch_matches_scalar_per_row(self):
+        loads = [generate_random_load(seed, FAST_CONFIG) for seed in range(8)]
+        rows = [
+            (
+                BatteryParameters(capacity=0.5 + 0.1 * i, c=0.166, k_prime=0.122),
+                BatteryParameters(capacity=0.9, c=0.2, k_prime=0.15),
+            )
+            for i in range(8)
+        ]
+        simulator = BatchSimulator(rows)
+        for policy in ALL_POLICIES:
+            batch = simulator.run(ScenarioSet.from_loads(loads), policy)
+            for index, load in enumerate(loads):
+                scalar = simulate_policy(list(rows[index]), load, policy)
+                if scalar.lifetime is None:
+                    assert math.isnan(batch.lifetimes[index])
+                else:
+                    assert batch.lifetimes[index] == pytest.approx(
+                        scalar.lifetime, abs=1e-9
+                    )
+                assert batch.decisions[index] == scalar.decisions

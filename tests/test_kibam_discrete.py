@@ -6,7 +6,7 @@ import pytest
 
 from repro.kibam.discrete import DiscreteKibam, DischargeSpec, recovery_steps_table
 from repro.kibam.lifetime import lifetime_under_segments
-from repro.kibam.parameters import B1
+from repro.kibam.parameters import B1, BatteryParameters
 
 
 class TestDischargeSpec:
@@ -130,6 +130,36 @@ class TestDiscreteDynamics:
 
 
 class TestDiscreteVersusAnalytical:
+    def test_spread_draws_track_awkward_currents(self):
+        """Currents whose integer form has cur > 1 must not draw in lumps.
+
+        0.124 A at the reference discretization is 31 units per 250 ticks;
+        drawn as one 2.5-minute lump the dKiBaM overestimated the lifetime
+        by tens of percent, spread one unit at a time it tracks the
+        analytical model again.
+        """
+        params = BatteryParameters(capacity=2.0, c=0.166, k_prime=0.122)
+        model = DiscreteKibam(params)
+        analytical = lifetime_under_segments(params, [(0.124, 1000.0)])
+        discrete = model.lifetime_under_segments([(0.124, 1000.0)])
+        assert discrete is not None
+        assert abs(discrete - analytical) / analytical < 0.05
+
+    def test_rate_change_does_not_burst_banked_ticks(self):
+        """The draw accumulator restarts when the discharge rate changes.
+
+        Ticks banked under a slow spec (cur_times = 250) must not be
+        reinterpreted at a faster spec's threshold (cur_times = 2) as an
+        instantaneous multi-unit draw at the epoch boundary.
+        """
+        params = BatteryParameters(capacity=2.0, c=0.166, k_prime=0.122)
+        model = DiscreteKibam(params)
+        load = [(0.124, 2.0), (0.5, 8.0)]
+        analytical = lifetime_under_segments(params, load)
+        discrete = model.lifetime_under_segments(load)
+        assert discrete is not None
+        assert abs(discrete - analytical) / analytical < 0.03
+
     @pytest.mark.parametrize("load_name", ["CL 500", "ILs 500", "ILs alt", "IL` 500"])
     def test_lifetimes_within_one_and_a_half_percent(self, b1, loads, load_name):
         # Tables 3 and 4 report relative differences of at most about 1 %.

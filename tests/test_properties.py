@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) for the core invariants."""
 
+import dataclasses
 import math
 
 from hypothesis import given, settings, strategies as st
@@ -95,21 +96,51 @@ class TestLifetimeProperties:
     @given(load=short_loads())
     @settings(max_examples=40, deadline=None)
     def test_discrete_model_tracks_the_analytical_model(self, load):
+        """The dKiBaM lifetime lies in the analytical margin-sensitivity bracket.
+
+        Comparing lifetimes against a fixed relative tolerance is ill-posed:
+        the lifetime is a *discontinuous* functional of the load (a crossing
+        that barely grazes the empty threshold can move the death to a later
+        job epoch, or past the end of the load), so any discretization --
+        however fine -- occasionally shows large lifetime deviations on
+        grazing loads.  The principled comparison bounds the discrete state
+        error in *margin* space instead: the dKiBaM tracks the continuous
+        margin ``gamma - (1 - c) * delta`` to within a few charge/height
+        units (empirically under one height unit per job epoch), and since
+        delta's dynamics are independent of gamma, shifting the empty
+        threshold by ``+-eps`` Amin is exactly a capacity shift of ``-+eps``.
+        The discrete lifetime must therefore lie between the analytical
+        lifetimes of batteries with capacity ``C - eps`` and ``C + eps``
+        (plus a small tick-granularity slack).  Where the load crosses the
+        threshold steeply the bracket is tight (median width ~0.26 min on
+        these loads); where it grazes, the bracket widens exactly as much as
+        the lifetime is genuinely ill-conditioned.
+        """
         params = BatteryParameters(capacity=2.0, c=0.166, k_prime=0.122)
-        analytical = lifetime_under_segments(params, load.segments())
-        discrete = DiscreteKibam(params, time_step=0.01, charge_unit=0.01).lifetime_under_segments(
-            load.segments()
+        model = DiscreteKibam(params, time_step=0.01, charge_unit=0.01)
+        segments = load.segments()
+        discrete = model.lifetime_under_segments(segments)
+        eps = model.height_unit * (1 + load.job_count)
+        early = lifetime_under_segments(
+            dataclasses.replace(params, capacity=params.capacity - eps), segments
         )
-        if analytical is None:
-            assert discrete is None or discrete >= load.total_duration - 0.05
-        elif analytical > load.total_duration - 0.1:
-            # The analytical crossing sits on the very edge of the load; the
-            # slightly longer-lived discrete model may survive it, which is
-            # not a meaningful discrepancy.
-            return
+        late = lifetime_under_segments(
+            dataclasses.replace(params, capacity=params.capacity + eps), segments
+        )
+        tick_slack = 0.05
+        if discrete is None:
+            # The discrete battery survived: the optimistic analytical
+            # battery must survive too (or die within slack of the end).
+            assert late is None or late >= load.total_duration - tick_slack
         else:
-            assert discrete is not None
-            assert discrete == pytest.approx(analytical, rel=0.03, abs=0.05)
+            lower = (early if early is not None else load.total_duration) - tick_slack
+            assert lower <= discrete
+            if late is not None:
+                assert discrete <= late + tick_slack
+            if early is None:
+                # Even the pessimistic battery survives: the discrete one
+                # may only die within slack of the end of the load.
+                assert discrete >= load.total_duration - tick_slack
 
 
 class TestSchedulingProperties:

@@ -1,0 +1,500 @@
+"""Tests for the sweep subsystem (repro.sweep).
+
+The contracts under test:
+
+* **hash stability** -- a spec's content hash is identical across processes
+  (and ``PYTHONHASHSEED`` values), changes when code-relevant content
+  changes, and ignores the free-text name/description;
+* **cache and resume** -- a completed sweep re-runs as pure cache reads
+  with bit-identical arrays, and a sweep missing chunks (interrupt,
+  partial run) recomputes exactly the missing chunks;
+* **per-scenario parameters** -- mixed battery-parameter batches match the
+  scalar golden-reference simulator to 1e-9 minutes, the same bar the
+  shared-parameter engine is held to;
+* **Monte-Carlo integration** -- ``run_montecarlo(cache_dir=...)`` routes
+  through the store and repeated calls reproduce the first result exactly.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.montecarlo import run_montecarlo
+from repro.core.simulator import simulate_policy
+from repro.engine import BatchSimulator, ScenarioSet
+from repro.kibam.parameters import B1, B2, BatteryParameters
+from repro.sweep import (
+    BatteryConfig,
+    LoadAxis,
+    ResultStore,
+    SweepRunner,
+    SweepSpec,
+    battery_grid,
+    builtin_specs,
+)
+from repro.sweep.cli import main as sweep_cli
+from repro.workloads.generator import RandomLoadConfig
+from repro.workloads.load import Load
+
+#: Short loads keep every sweep in this module well under a second.
+FAST_CONFIG = RandomLoadConfig(
+    levels=(0.25, 0.5),
+    job_duration_range=(0.5, 1.0),
+    idle_duration_range=(0.0, 1.0),
+    total_duration=30.0,
+    duration_step=0.25,
+)
+
+SMALL = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122, name="small")
+
+
+def small_spec(chunk_size=4, n_samples=10, policies=("sequential", "best-of-two")):
+    return SweepSpec(
+        name="unit-test",
+        batteries=(BatteryConfig(label="2xSMALL", params=(SMALL, SMALL)),),
+        loads=(LoadAxis.random(n_samples, seed=3, config=FAST_CONFIG),),
+        policies=tuple(policies),
+        chunk_size=chunk_size,
+    )
+
+
+class TestSpecHash:
+    def test_hash_is_stable_across_processes(self):
+        """The content hash must not depend on the process that computes it."""
+        spec = small_spec()
+        code = (
+            "from tests.test_sweep import small_spec;"
+            "print(small_spec().spec_hash())"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+        )
+        for hash_seed in ("0", "12345"):
+            env["PYTHONHASHSEED"] = hash_seed
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=repo_root,
+                check=True,
+            )
+            assert result.stdout.strip() == spec.spec_hash()
+
+    def test_hash_ignores_name_and_description(self):
+        spec = small_spec()
+        renamed = SweepSpec.from_dict(
+            {**spec.to_dict(), "name": "other", "description": "different words"}
+        )
+        assert renamed.spec_hash() == spec.spec_hash()
+
+    def test_hash_ignores_cosmetic_battery_and_load_names(self):
+        """Renaming a battery triple or an embedded load must not orphan caches."""
+        spec = small_spec()
+        nameless = BatteryParameters(
+            capacity=SMALL.capacity, c=SMALL.c, k_prime=SMALL.k_prime, name="renamed"
+        )
+        renamed = SweepSpec(
+            name=spec.name,
+            batteries=(BatteryConfig(label="2xSMALL", params=(nameless, nameless)),),
+            loads=spec.loads,
+            policies=spec.policies,
+            chunk_size=spec.chunk_size,
+        )
+        assert renamed.spec_hash() == spec.spec_hash()
+
+        loads = ScenarioSet.random(2, FAST_CONFIG, seed=1).loads
+        relabelled = [
+            Load(name=f"other-{i}", epochs=load.epochs) for i, load in enumerate(loads)
+        ]
+        spec_a = SweepSpec(
+            name="a", batteries=spec.batteries,
+            loads=(LoadAxis.explicit(loads, label="mc"),), policies=spec.policies,
+        )
+        spec_b = SweepSpec(
+            name="b", batteries=spec.batteries,
+            loads=(LoadAxis.explicit(relabelled, label="mc"),), policies=spec.policies,
+        )
+        assert spec_a.spec_hash() == spec_b.spec_hash()
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"policies": ["sequential"]},
+            {"chunk_size": 7},
+            {"backend": "discrete"},
+        ],
+    )
+    def test_hash_changes_with_content(self, mutation):
+        spec = small_spec()
+        changed = SweepSpec.from_dict({**spec.to_dict(), **mutation})
+        assert changed.spec_hash() != spec.spec_hash()
+
+    def test_hash_changes_with_battery_parameters(self):
+        spec = small_spec()
+        other = SweepSpec(
+            name=spec.name,
+            batteries=(BatteryConfig(label="2xSMALL", params=(SMALL, B1)),),
+            loads=spec.loads,
+            policies=spec.policies,
+            chunk_size=spec.chunk_size,
+        )
+        assert other.spec_hash() != spec.spec_hash()
+
+    def test_mixed_battery_widths_rejected(self):
+        with pytest.raises(ValueError, match="same number of batteries"):
+            SweepSpec(
+                name="bad",
+                batteries=(
+                    BatteryConfig(label="one", params=(SMALL,)),
+                    BatteryConfig(label="two", params=(SMALL, SMALL)),
+                ),
+                loads=(LoadAxis.random(2, seed=0, config=FAST_CONFIG),),
+                policies=("sequential",),
+            )
+
+    def test_round_trips_through_dict(self):
+        spec = small_spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.spec_hash() == spec.spec_hash()
+        assert clone.n_scenarios == spec.n_scenarios
+        assert [p.load_label for p in clone.expand()] == [
+            p.load_label for p in spec.expand()
+        ]
+
+
+class TestLoadAxes:
+    def test_random_axis_matches_montecarlo_sampling(self):
+        """Sample i uses seed + i, exactly like ScenarioSet.random."""
+        axis = LoadAxis.random(5, seed=11, config=FAST_CONFIG)
+        resolved = [load for _, load in axis.resolve()]
+        reference = ScenarioSet.random(5, FAST_CONFIG, seed=11).loads
+        assert [l.epochs for l in resolved] == [l.epochs for l in reference]
+
+    def test_paper_axis_subset_and_unknown_name(self):
+        axis = LoadAxis.paper(["CL 250", "ILs alt"])
+        assert [label for label, _ in axis.resolve()] == ["CL 250", "ILs alt"]
+        with pytest.raises(ValueError):
+            LoadAxis.paper(["no such load"])
+
+    def test_generator_axis(self):
+        axis = LoadAxis.generator(
+            "duty-cycle", label="dc", current=0.3, period=2.0, duty_cycle=0.5, cycles=4
+        )
+        [(label, load)] = axis.resolve()
+        assert label == "dc"
+        assert load.total_duration == pytest.approx(8.0)
+
+    def test_explicit_axis_round_trips_epochs(self):
+        loads = ScenarioSet.random(3, FAST_CONFIG, seed=0).loads
+        axis = LoadAxis.explicit(loads, label="mc")
+        resolved = [load for _, load in axis.resolve()]
+        assert [
+            [(e.current, e.duration) for e in load.epochs] for load in resolved
+        ] == [[(e.current, e.duration) for e in load.epochs] for load in loads]
+
+    def test_labels_agree_with_resolution(self):
+        for axis in (
+            LoadAxis.paper(["CL 250", "CL 500"]),
+            LoadAxis.random(4, seed=2, config=FAST_CONFIG),
+            LoadAxis.generator("bursty", burst_current=0.5, burst_jobs=2,
+                               rest_duration=1.0, cycles=2),
+        ):
+            assert axis.labels() == [label for label, _ in axis.resolve()]
+
+
+class TestRunnerCaching:
+    def test_cold_run_then_cache_hit(self, tmp_path):
+        spec = small_spec()
+        runner = SweepRunner(ResultStore(tmp_path / "store"))
+        cold = runner.run(spec)
+        assert cold.stats.chunks_run == spec.n_chunks
+        assert cold.stats.chunks_cached == 0
+
+        warm = runner.run(spec)
+        assert warm.stats.chunks_run == 0
+        assert warm.stats.chunks_cached == spec.n_chunks
+        for policy in spec.policies:
+            np.testing.assert_array_equal(
+                warm.lifetimes[policy], cold.lifetimes[policy]
+            )
+            np.testing.assert_array_equal(
+                warm.decisions[policy], cold.decisions[policy]
+            )
+            np.testing.assert_array_equal(
+                warm.residual_charge[policy], cold.residual_charge[policy]
+            )
+
+    def test_resume_after_interrupt(self, tmp_path):
+        """Deleting a chunk (interrupt mid-campaign) reruns only that chunk."""
+        spec = small_spec(chunk_size=3, n_samples=10)  # 4 chunks
+        store = ResultStore(tmp_path / "store")
+        runner = SweepRunner(store)
+        full = runner.run(spec)
+        spec_hash = spec.spec_hash()
+
+        victim = store._chunk_path(spec_hash, 1)
+        victim.unlink()
+        resumed = runner.run(spec)
+        assert resumed.stats.chunks_run == 1
+        assert resumed.stats.chunks_cached == spec.n_chunks - 1
+        assert resumed.stats.scenarios_run == 3  # exactly the missing chunk
+        for policy in spec.policies:
+            np.testing.assert_array_equal(
+                resumed.lifetimes[policy], full.lifetimes[policy]
+            )
+
+    def test_half_written_chunk_is_ignored(self, tmp_path):
+        """A truncated temp file from a killed run never poisons the store."""
+        spec = small_spec(chunk_size=5, n_samples=10)
+        store = ResultStore(tmp_path / "store")
+        spec_hash = store.ensure_entry(spec)
+        stray = store._chunk_path(spec_hash, 0).with_suffix(".tmp.npz")
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_bytes(b"not an npz")
+        result = SweepRunner(store).run(spec)
+        assert result.stats.chunks_run == spec.n_chunks
+
+    def test_force_recomputes(self, tmp_path):
+        spec = small_spec()
+        runner = SweepRunner(ResultStore(tmp_path / "store"))
+        runner.run(spec)
+        forced = runner.run(spec, force=True)
+        assert forced.stats.chunks_run == spec.n_chunks
+        assert forced.stats.chunks_cached == 0
+
+    def test_runner_without_store_computes_in_memory(self):
+        spec = small_spec(n_samples=4)
+        result = SweepRunner().run(spec)
+        assert result.stats.chunks_run == spec.n_chunks
+        assert all(np.isfinite(result.lifetimes[p]).all() for p in spec.policies)
+
+    def test_load_requires_complete_store(self, tmp_path):
+        spec = small_spec(chunk_size=3, n_samples=10)
+        store = ResultStore(tmp_path / "store")
+        runner = SweepRunner(store)
+        with pytest.raises(FileNotFoundError):
+            runner.load(spec)
+        runner.run(spec)
+        store._chunk_path(spec.spec_hash(), 2).unlink()
+        with pytest.raises(FileNotFoundError):
+            runner.load(spec)
+
+    def test_store_find_and_entries(self, tmp_path):
+        spec = small_spec()
+        store = ResultStore(tmp_path / "store")
+        SweepRunner(store).run(spec)
+        [entry] = store.entries()
+        assert entry.complete
+        assert entry.n_scenarios == spec.n_scenarios
+        assert store.find(spec.spec_hash()[:6]).spec_hash == spec.spec_hash()
+        assert store.find("unit-test").spec_hash == spec.spec_hash()
+        assert store.find("nonexistent") is None
+
+
+class TestPerScenarioParameters:
+    """The sweep lever: parameter grids vectorized at the 1e-9 parity bar."""
+
+    def test_mixed_parameter_chunk_matches_scalar(self, tmp_path):
+        grid = battery_grid(
+            capacities=(0.6, 0.8, 1.0, 1.3), c=0.166, k_prime=0.122
+        ) + (BatteryConfig(label="B1+B2", params=(B1, B2)),)
+        spec = SweepSpec(
+            name="grid",
+            batteries=grid,
+            loads=(LoadAxis.random(3, seed=5, config=FAST_CONFIG),),
+            policies=("sequential", "round-robin", "best-of-two"),
+            chunk_size=64,  # one mixed chunk covering the whole grid
+        )
+        result = SweepRunner(ResultStore(tmp_path / "store")).run(spec)
+        for point in spec.expand():
+            for policy in spec.policies:
+                scalar = simulate_policy(
+                    list(point.battery_params), point.load, policy
+                )
+                batch_value = result.lifetimes[policy][point.index]
+                if scalar.lifetime is None:
+                    assert np.isnan(batch_value)
+                else:
+                    assert batch_value == pytest.approx(
+                        scalar.lifetime, abs=1e-9
+                    )
+                assert result.decisions[policy][point.index] == scalar.decisions
+
+    def test_per_scenario_rows_match_shared_simulator(self):
+        """Identical rows through the per-scenario path equal the shared path."""
+        loads = ScenarioSet.random(6, FAST_CONFIG, seed=9)
+        shared = BatchSimulator([SMALL, B1]).run_many(
+            loads, ("sequential", "best-of-two")
+        )
+        nested = BatchSimulator([(SMALL, B1)] * 6).run_many(
+            loads, ("sequential", "best-of-two")
+        )
+        for policy in ("sequential", "best-of-two"):
+            np.testing.assert_allclose(
+                nested[policy].lifetimes,
+                shared[policy].lifetimes,
+                atol=1e-9,
+                equal_nan=True,
+            )
+
+    def test_row_count_mismatch_rejected(self):
+        simulator = BatchSimulator([(SMALL, SMALL)] * 3)
+        loads = ScenarioSet.random(2, FAST_CONFIG, seed=0)
+        with pytest.raises(ValueError, match="per-scenario parameters"):
+            simulator.run(loads, "sequential")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError, match="same number of batteries"):
+            BatchSimulator([(SMALL, SMALL), (SMALL,)])
+
+
+class TestMonteCarloCache:
+    def test_repeated_distribution_is_cache_hit(self, tmp_path):
+        cache = str(tmp_path / "mc")
+        kwargs = dict(
+            n_samples=25, seed=13, config=FAST_CONFIG, engine="batch",
+            cache_dir=cache,
+        )
+        first = run_montecarlo([SMALL, SMALL], **kwargs)
+        second = run_montecarlo([SMALL, SMALL], **kwargs)
+        assert first.engine == second.engine == "batch"
+        assert second.per_sample == first.per_sample
+        assert second.distributions == first.distributions
+        # The store actually holds the sweep.
+        [entry] = ResultStore(cache).entries()
+        assert entry.complete and entry.n_scenarios == 25
+
+    def test_cached_result_matches_direct_batch_run(self, tmp_path):
+        cached = run_montecarlo(
+            [SMALL, SMALL], n_samples=25, seed=13, config=FAST_CONFIG,
+            engine="batch", cache_dir=str(tmp_path / "mc"),
+        )
+        direct = run_montecarlo(
+            [SMALL, SMALL], n_samples=25, seed=13, config=FAST_CONFIG,
+            engine="batch",
+        )
+        for policy, values in direct.per_sample.items():
+            assert cached.per_sample[policy] == pytest.approx(values, abs=1e-9)
+
+    def test_explicit_loads_are_cacheable(self, tmp_path):
+        loads = ScenarioSet.random(6, FAST_CONFIG, seed=21).loads
+        cache = str(tmp_path / "mc")
+        first = run_montecarlo([SMALL, SMALL], loads=loads, engine="batch",
+                               cache_dir=cache)
+        second = run_montecarlo([SMALL, SMALL], loads=loads, engine="batch",
+                                cache_dir=cache)
+        assert second.per_sample == first.per_sample
+
+    def test_rng_stream_bypasses_cache(self, tmp_path):
+        cache = str(tmp_path / "mc")
+        result = run_montecarlo(
+            [SMALL, SMALL], n_samples=4, config=FAST_CONFIG, engine="batch",
+            rng=np.random.default_rng(1), cache_dir=cache,
+        )
+        assert result.n_samples == 4
+        assert list(ResultStore(cache).entries()) == []
+
+
+class TestCli:
+    def spec_file(self, tmp_path, **overrides):
+        spec = small_spec(**overrides)
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return spec, str(path)
+
+    def test_run_status_show_roundtrip(self, tmp_path, capsys):
+        spec, spec_path = self.spec_file(tmp_path)
+        store = str(tmp_path / "store")
+
+        assert sweep_cli(["run", "--spec-file", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert f"{spec.n_chunks} run, 0 cached" in out
+
+        assert sweep_cli(["run", "--spec-file", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert f"0 run, {spec.n_chunks} cached" in out
+
+        assert sweep_cli(["status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert spec.spec_hash() in out and "complete" in out
+
+        assert sweep_cli(["show", "--spec-file", spec_path, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2xSMALL" in out
+
+        assert sweep_cli(["show", "--hash", spec.spec_hash()[:8],
+                          "--store", store]) == 0
+        assert "2xSMALL" in capsys.readouterr().out
+
+    def test_show_incomplete_sweep_fails_cleanly(self, tmp_path, capsys):
+        spec, spec_path = self.spec_file(tmp_path)
+        store = str(tmp_path / "store")
+        with pytest.raises(SystemExit):
+            sweep_cli(["show", "--spec-file", spec_path, "--store", store])
+
+    def test_builtin_specs_listed(self, capsys):
+        assert sweep_cli(["specs"]) == 0
+        out = capsys.readouterr().out
+        for name in builtin_specs():
+            assert name in out
+
+    def test_unknown_builtin_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="unknown built-in"):
+            sweep_cli(["run", "--spec", "nope", "--store", str(tmp_path)])
+
+    def test_module_entry_point(self):
+        """`python -m repro sweep specs` dispatches through repro.__main__."""
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env["PYTHONPATH"] = src
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "specs"],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        assert "table5" in result.stdout
+
+
+class TestAggregation:
+    def test_table_groups_random_samples(self, tmp_path):
+        spec = small_spec(n_samples=8)
+        result = SweepRunner(ResultStore(tmp_path / "store")).run(spec)
+        [row] = result.table()
+        assert row.n_samples == 8
+        assert row.battery_label == "2xSMALL"
+        assert set(row.mean_lifetimes) == set(spec.policies)
+
+    def test_distributions_are_analysis_ready(self, tmp_path):
+        spec = small_spec(n_samples=8)
+        result = SweepRunner(ResultStore(tmp_path / "store")).run(spec)
+        distributions = result.distributions()
+        key = ("2xSMALL", "random(seed=3)", "sequential")
+        assert distributions[key].samples == 8
+        assert distributions[key].minimum <= distributions[key].median
+        assert distributions[key].median <= distributions[key].maximum
+
+    def test_survivors_render_without_crashing(self):
+        spec = SweepSpec(
+            name="survive",
+            batteries=(BatteryConfig(label="2xB2", params=(B2, B2)),),
+            loads=(
+                LoadAxis.generator(
+                    "duty-cycle", label="light", current=0.05, period=2.0,
+                    duty_cycle=0.5, cycles=5,
+                ),
+            ),
+            policies=("sequential",),
+        )
+        result = SweepRunner().run(spec)
+        assert np.isnan(result.lifetimes["sequential"]).all()
+        assert "survived" in result.render()
