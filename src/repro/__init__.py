@@ -81,7 +81,7 @@ from repro.sweep import (
 )
 from repro.analysis.montecarlo import run_montecarlo
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "B1",

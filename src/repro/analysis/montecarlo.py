@@ -13,9 +13,10 @@ original pure-Python loop over :func:`repro.core.simulator.simulate_policy`
 and remains the golden reference.  The ``"batch"`` engine hands the whole
 sample set to :class:`repro.engine.batch.BatchSimulator`, which advances
 every scenario through vectorized NumPy kernels and delivers identical
-lifetimes (within the 1e-9 root-finder tolerance) at well over an order of
-magnitude higher throughput.  ``"auto"`` picks the batch engine whenever the
-backend and all requested policies are vectorizable.
+lifetimes (within the 1e-9 root-finder tolerance for the analytical model;
+*exactly*, tick for tick, for ``model="discrete"``) at well over an order
+of magnitude higher throughput.  ``"auto"`` picks the batch engine whenever
+the battery model and all requested policies are vectorizable.
 """
 
 from __future__ import annotations
@@ -29,7 +30,7 @@ import numpy as np
 
 from repro.core.optimal import find_optimal_schedule
 from repro.core.simulator import simulate_policy
-from repro.engine.batch import BatchSimulator
+from repro.engine.batch import VECTOR_MODELS, BatchSimulator, resolve_model
 from repro.engine.parallel import (
     optimal_lifetimes_chunk,
     run_chunked,
@@ -132,11 +133,12 @@ def run_montecarlo(
     seed: int = 0,
     rng: Optional[np.random.Generator] = None,
     engine: str = "auto",
-    backend: str = "analytical",
+    backend: Optional[str] = None,
     optimal_max_nodes: Optional[int] = 20_000,
     n_workers: int = 1,
     loads: Optional[Sequence[Load]] = None,
     cache_dir: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> MonteCarloResult:
     """Sample random loads and summarize the policy lifetimes on them.
 
@@ -156,10 +158,14 @@ def run_montecarlo(
             scalar and batch engines see identical samples either way.
         engine: ``"scalar"`` (the golden-reference Python loop),
             ``"batch"`` (the vectorized engine; non-vectorizable
-            backend/policy combinations still run, scenario by scenario,
+            model/policy combinations still run, scenario by scenario,
             through the scalar fallback) or ``"auto"``.  The result's
             ``engine`` field records the path that actually executed.
-        backend: battery backend for the policy simulations.
+        backend: battery model for the policy simulations (legacy name;
+            ``model`` is the preferred spelling).  Both ``"analytical"``
+            and ``"discrete"`` sweeps vectorize; ``"linear"`` runs scalar.
+        model: alias of ``backend``; passing both with different values is
+            an error.
         optimal_max_nodes: node cap per optimal search.
         n_workers: worker processes for the scalar and optimal sweeps
             (``1`` runs inline; the batch engine itself is single-process
@@ -179,6 +185,7 @@ def run_montecarlo(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known engines: {ENGINES}")
+    backend = resolve_model(model, backend)
     load_config = config if config is not None else ILS_LIKE_RANDOM_CONFIG
     # Sampling is deferred: a fully cached store run never touches the
     # random loads, so drawing them here would put the (Python-loop) load
@@ -206,7 +213,7 @@ def run_montecarlo(
     if len(set(names)) != len(names):
         raise ValueError(f"policy names must be unique, got {names}")
 
-    vectorizable = backend == "analytical" and all(
+    vectorizable = backend in VECTOR_MODELS and all(
         isinstance(policy, VectorPolicy)
         or (isinstance(policy, str) and has_vector_policy(policy))
         for policy in policies

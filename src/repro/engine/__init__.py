@@ -23,8 +23,9 @@ The scalar simulator remains the golden reference; the test suite pins the
 two paths to within 1e-9 minutes on random loads.
 """
 
-from repro.engine.batch import BatchResult, BatchSimulator
+from repro.engine.batch import VECTOR_MODELS, BatchResult, BatchSimulator
 from repro.engine.kernels import (
+    DiscreteKernelParams,
     KernelParams,
     available_charge_array,
     empty_margin_array,
@@ -52,15 +53,18 @@ from repro.engine.policies import (
     has_vector_policy,
     make_vector_policy,
 )
-from repro.engine.scenarios import ScenarioSet
+from repro.engine.scenarios import DiscreteScenarioArrays, ScenarioSet
 
 __all__ = [
     "BatchDecisionContext",
     "BatchResult",
     "BatchSimulator",
     "ChunkedExecutor",
+    "DiscreteKernelParams",
+    "DiscreteScenarioArrays",
     "KernelParams",
     "ScenarioSet",
+    "VECTOR_MODELS",
     "VECTOR_POLICY_REGISTRY",
     "VectorBestOfTwoPolicy",
     "VectorPolicy",

@@ -14,9 +14,21 @@ same epoch walk, same ``1e-9`` span epsilon, same ``1e-12`` emptiness
 tolerance, same sticky empty observation (Section 4.3 of the paper), same
 mid-job switchover rule -- so batch lifetimes match scalar lifetimes to
 within the root-finder tolerance (far below 1e-9 minutes; the test suite
-pins this).  Scenarios whose policy or battery backend has no vectorized
-implementation transparently fall back to the scalar simulator, one
-scenario at a time.
+pins this).
+
+Two battery models run vectorized.  ``model="analytical"`` advances whole
+constant-current spans through the closed-form kernels.  ``model=
+"discrete"`` (the dKiBaM of Section 2.3) has no closed form -- the scalar
+reference walks it one tick at a time -- so the batch loop advances integer
+``(n, m)`` charge-unit arrays *event to event*: between draw, recovery and
+epoch events every counter moves linearly, so each iteration jumps every
+scenario straight to its own next event and replays that single tick
+exactly (recovery before discharge, the equation-(7) Bresenham draw
+accumulator per serving lane, emptiness checked per drawn unit).  Because
+the state is integers, the parity bar with the scalar dKiBaM is exact
+equality -- unit for unit, tick for tick -- not a float tolerance.
+Scenarios whose policy or battery model has no vectorized implementation
+transparently fall back to the scalar simulator, one scenario at a time.
 """
 
 from __future__ import annotations
@@ -31,7 +43,9 @@ from repro.core.policies import SchedulingPolicy
 from repro.core.simulator import MultiBatterySimulator
 from repro.engine.kernels import (
     DELTA,
+    DISCRETE_UNREACHABLE,
     GAMMA,
+    DiscreteKernelParams,
     KernelParams,
     empty_margin_array,
     initial_state_array,
@@ -56,6 +70,24 @@ _TIME_EPSILON = 1e-9
 #: Emptiness tolerance (Amin); identical to ``AnalyticalBattery.is_empty``.
 _EMPTY_TOLERANCE = 1e-12
 
+#: Battery models with a vectorized batch implementation; anything else
+#: runs through the scalar fallback.
+VECTOR_MODELS = ("analytical", "discrete")
+
+
+def resolve_model(model: Optional[str], backend: Optional[str]) -> str:
+    """Resolve the ``model``/``backend`` alias pair to one model name.
+
+    ``model`` is the preferred spelling, ``backend`` the legacy one; passing
+    both with different values is an error, passing neither means
+    ``"analytical"``.  Shared by every entry point that accepts the pair.
+    """
+    if model is not None and backend is not None and model != backend:
+        raise ValueError(
+            f"conflicting battery models: model={model!r}, backend={backend!r}"
+        )
+    return model if model is not None else (backend or "analytical")
+
 
 @dataclasses.dataclass(frozen=True)
 class BatchResult:
@@ -71,6 +103,14 @@ class BatchResult:
         final_states: transformed KiBaM states, shape
             ``(n_scenarios, n_batteries, 2)``; ``None`` when the batch ran
             through the scalar fallback.
+        lifetime_ticks: ``model="discrete"`` only -- the lifetime per
+            scenario as an exact tick count (``-1`` where the batteries
+            survived); ``lifetimes`` is ``lifetime_ticks * time_step``.
+        charge_units: ``model="discrete"`` only -- final integer dKiBaM
+            state, shape ``(n_scenarios, n_batteries, 2)`` with the last
+            axis holding ``(n, m)``: remaining charge units and height
+            difference units.  Exactly comparable to the scalar
+            :class:`repro.kibam.discrete.DiscreteBatteryState`.
     """
 
     policy_name: str
@@ -78,10 +118,28 @@ class BatchResult:
     decisions: np.ndarray
     residual_charge: np.ndarray
     final_states: Optional[np.ndarray] = None
+    lifetime_ticks: Optional[np.ndarray] = None
+    charge_units: Optional[np.ndarray] = None
 
     @property
     def n_scenarios(self) -> int:
         return self.lifetimes.shape[0]
+
+    def take(self, lanes, policy_name: Optional[str] = None) -> "BatchResult":
+        """The result restricted to a lane selection (slice or index array)."""
+
+        def sel(array: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if array is None else array[lanes]
+
+        return BatchResult(
+            policy_name=self.policy_name if policy_name is None else policy_name,
+            lifetimes=self.lifetimes[lanes],
+            decisions=self.decisions[lanes],
+            residual_charge=self.residual_charge[lanes],
+            final_states=sel(self.final_states),
+            lifetime_ticks=sel(self.lifetime_ticks),
+            charge_units=sel(self.charge_units),
+        )
 
     @property
     def survived(self) -> np.ndarray:
@@ -110,10 +168,14 @@ class BatchSimulator:
             parameter-sweep form, where every scenario lane carries its own
             battery triples and batches must have exactly one scenario per
             row.
-        backend: ``"analytical"`` runs the vectorized engine; any other
-            registered backend (``"discrete"``, ``"linear"``) runs through
-            the scalar fallback.
-        time_step / charge_unit: dKiBaM discretization, fallback only.
+        model: battery model: ``"analytical"`` (closed-form KiBaM) and
+            ``"discrete"`` (the dKiBaM, exact integer parity with the
+            scalar tick loop) both run vectorized; any other registered
+            model (``"linear"``) runs through the scalar fallback.
+        backend: legacy alias of ``model`` (kept for existing call sites;
+            passing both with different values is an error).
+        time_step / charge_unit: dKiBaM discretization (``"discrete"``
+            model only).
     """
 
     def __init__(
@@ -121,9 +183,10 @@ class BatchSimulator:
         params: Union[
             Sequence[BatteryParameters], Sequence[Sequence[BatteryParameters]]
         ],
-        backend: str = "analytical",
+        backend: Optional[str] = None,
         time_step: float = 0.01,
         charge_unit: float = 0.01,
+        model: Optional[str] = None,
     ) -> None:
         params = tuple(params)
         if not params:
@@ -137,13 +200,26 @@ class BatchSimulator:
             self._kernel_params = KernelParams.from_parameter_rows(rows)
             self.params = rows
             self.param_rows = rows
-        self.backend = backend
+        self.backend = resolve_model(model, backend)
         self.time_step = time_step
         self.charge_unit = charge_unit
+        self._discrete_kernel_params: Optional[DiscreteKernelParams] = None
+
+    @property
+    def model(self) -> str:
+        """The battery model this simulator advances (alias of ``backend``)."""
+        return self.backend
 
     @property
     def n_batteries(self) -> int:
         return self._kernel_params.n_batteries
+
+    def _discrete_params(self) -> DiscreteKernelParams:
+        if self._discrete_kernel_params is None:
+            self._discrete_kernel_params = self._kernel_params.discretize(
+                self.time_step, self.charge_unit
+            )
+        return self._discrete_kernel_params
 
     def _check_scenario_count(self, scenarios: ScenarioSet) -> None:
         if self.param_rows is not None and len(self.param_rows) != scenarios.n_scenarios:
@@ -162,8 +238,10 @@ class BatchSimulator:
             scenarios = ScenarioSet.from_loads(scenarios)
         self._check_scenario_count(scenarios)
         vector_policy = self._resolve_vector_policy(policy)
-        if vector_policy is None or self.backend != "analytical":
+        if vector_policy is None or self.backend not in VECTOR_MODELS:
             return self._run_fallback(scenarios, policy)
+        if self.backend == "discrete":
+            return self._run_discrete(scenarios, vector_policy)
         return self._run_vectorized(scenarios, vector_policy)
 
     def run_many(
@@ -195,25 +273,21 @@ class BatchSimulator:
         results: Dict[str, BatchResult] = {}
 
         vector = [v for _, v in resolved if v is not None]
-        if self.backend == "analytical" and len(vector) > 1:
+        if self.backend in VECTOR_MODELS and len(vector) > 1:
             stack = VectorPolicyStack(vector, scenarios.n_scenarios)
-            stacked = self._run_vectorized(
-                scenarios.tiled(len(vector)),
-                stack,
-                kp=self._kernel_params.tiled(len(vector)),
-            )
+            tiled = scenarios.tiled(len(vector))
+            if self.backend == "discrete":
+                stacked = self._run_discrete(
+                    tiled, stack, dkp=self._discrete_params().tiled(len(vector))
+                )
+            else:
+                stacked = self._run_vectorized(
+                    tiled, stack, kp=self._kernel_params.tiled(len(vector))
+                )
             n = scenarios.n_scenarios
             for index, policy in enumerate(vector):
                 lanes = slice(index * n, (index + 1) * n)
-                results[policy.name] = BatchResult(
-                    policy_name=policy.name,
-                    lifetimes=stacked.lifetimes[lanes],
-                    decisions=stacked.decisions[lanes],
-                    residual_charge=stacked.residual_charge[lanes],
-                    final_states=stacked.final_states[lanes]
-                    if stacked.final_states is not None
-                    else None,
-                )
+                results[policy.name] = stacked.take(lanes, policy_name=policy.name)
             remaining = [p for p, v in resolved if v is None]
         else:
             remaining = list(policies)
@@ -414,6 +488,292 @@ class BatchSimulator:
             decisions=decisions,
             residual_charge=residual,
             final_states=state,
+        )
+
+    # ------------------------------------------------------------------ #
+    # vectorized discrete (dKiBaM) path
+    # ------------------------------------------------------------------ #
+    def _run_discrete(
+        self,
+        scenarios: ScenarioSet,
+        policy: VectorPolicy,
+        dkp: Optional[DiscreteKernelParams] = None,
+    ) -> BatchResult:
+        """Event-jumping batch dKiBaM, exactly matching the scalar tick loop.
+
+        State per battery lane is the integer quadruple of
+        :class:`repro.kibam.discrete.DiscreteBatteryState` -- charge units
+        ``n``, height units ``m``, recovery tick counter, sticky empty flag
+        -- plus one equation-(7) draw accumulator per scenario (only the
+        serving battery accumulates; every other live battery is reset by
+        each idle tick, so the scenario-level accumulator with its
+        owner/rate tag reproduces the per-battery scalar rule exactly).
+
+        Between events every counter advances linearly, so each loop
+        iteration (a) jumps every active scenario to one tick before its
+        own next event -- next unit draw, next equation-(6) recovery step,
+        or epoch end, whichever is sooner -- in O(1) and (b) replays that
+        event tick with the full scalar tick semantics: recovery first,
+        then the draw loop with per-unit emptiness checks, then epoch /
+        switchover bookkeeping.  Dead and exhausted scenarios leave the
+        active set immediately and cost nothing afterwards.
+        """
+        dkp = self._discrete_params() if dkp is None else dkp
+        n_scen = scenarios.n_scenarios
+        n_bat = self.n_batteries
+        dp = dkp.expanded(n_scen)
+        darr = scenarios.discretized(dkp.time_step, dkp.charge_unit)
+        e_cur, e_ct, e_ticks = darr.cur, darr.cur_times, darr.ticks
+        currents = scenarios.currents
+        n_epochs = scenarios.n_epochs
+        time_step = dkp.time_step
+        charge_unit = dkp.charge_unit
+        cp = dp.c_permille
+        q = 1000 - cp
+        tables = dp.tables
+        table_id = dp.table_id
+        BIG = DISCRETE_UNREACHABLE
+
+        # Battery lane state (all integers; empty lanes are frozen).
+        n = dp.total_units.copy()
+        m = np.zeros((n_scen, n_bat), dtype=np.int64)
+        recov = np.zeros((n_scen, n_bat), dtype=np.int64)
+        empty = np.zeros((n_scen, n_bat), dtype=bool)
+
+        # Scenario control state.
+        epoch_idx = np.full(n_scen, -1, dtype=np.int64)
+        remaining = np.zeros(n_scen, dtype=np.int64)  # ticks left in epoch
+        cur_s = np.zeros(n_scen, dtype=np.int64)
+        ct_s = np.ones(n_scen, dtype=np.int64)
+        serving = np.full(n_scen, -1, dtype=np.int64)
+        # Draw accumulator: value, owning battery and the (cur, cur_times)
+        # rate it was built under (the scalar ``disch_rate`` tag).
+        acc = np.zeros(n_scen, dtype=np.int64)
+        acc_b = np.full(n_scen, -1, dtype=np.int64)
+        acc_cur = np.zeros(n_scen, dtype=np.int64)
+        acc_ct = np.ones(n_scen, dtype=np.int64)
+        time_t = np.zeros(n_scen, dtype=np.int64)
+        job_index = np.full(n_scen, -1, dtype=np.int64)
+        prev_choice = np.full(n_scen, -1, dtype=np.int64)
+        decisions = np.zeros(n_scen, dtype=np.int64)
+        lifetime_t = np.full(n_scen, -1, dtype=np.int64)
+        switchover = np.zeros(n_scen, dtype=bool)
+        need_decide = np.zeros(n_scen, dtype=bool)
+        active = np.ones(n_scen, dtype=bool)
+
+        policy.reset(n_scen, n_bat)
+
+        act = np.flatnonzero(active)
+        while act.size:
+            # ---- advance scenarios whose epoch is out of ticks.  Entering
+            # a job epoch with at least one tick schedules a decision; a
+            # zero-tick job epoch is skipped without one (the scalar
+            # ``while remaining > eps`` never runs), and entering an idle
+            # epoch resets the draw accumulator (the first idle tick would).
+            while True:
+                adv = act[remaining[act] == 0]
+                if adv.size == 0:
+                    break
+                epoch_idx[adv] += 1
+                exhausted = epoch_idx[adv] >= n_epochs[adv]
+                done = adv[exhausted]
+                active[done] = False  # survived the whole load
+                live = adv[~exhausted]
+                if live.size:
+                    e = epoch_idx[live]
+                    remaining[live] = e_ticks[live, e]
+                    cur_s[live] = e_cur[live, e]
+                    ct_s[live] = e_ct[live, e]
+                    serving[live] = -1
+                    switchover[live] = False
+                    is_job = cur_s[live] > 0
+                    job_index[live[is_job]] += 1
+                    started = remaining[live] > 0
+                    need_decide[live] = is_job & started
+                    idle_started = live[(~is_job) & started]
+                    if idle_started.size:
+                        acc[idle_started] = 0
+                        acc_b[idle_started] = -1
+                        acc_cur[idle_started] = 0
+                        acc_ct[idle_started] = 1
+                if done.size:
+                    act = act[active[act]]
+            if act.size == 0:
+                break
+
+            # ---- scheduling decisions (job-epoch entry or switchover).
+            dec = act[need_decide[act]]
+            if dec.size:
+                crit = q[dec] * m[dec] >= cp[dec] * n[dec]
+                alive = ~empty[dec] & ~crit
+                any_alive = np.any(alive, axis=1)
+                dead = dec[~any_alive]
+                if dead.size:
+                    # A job arrived and no battery can serve it: the system
+                    # died the moment the previous span ended.
+                    lifetime_t[dead] = time_t[dead]
+                    active[dead] = False
+                    need_decide[dead] = False
+                    act = act[active[act]]
+                deciding = dec[any_alive]
+                if deciding.size:
+                    rows = np.flatnonzero(any_alive)
+                    # The scalar battery view computes
+                    # ``max(0, c * (n * Gamma - (1 - c) * (m * Delta)))``
+                    # in exactly this operation order.
+                    gamma = n[deciding] * charge_unit
+                    delta = m[deciding] * dp.height_unit[deciding]
+                    c_dec = dp.c[deciding]
+                    context = BatchDecisionContext(
+                        lanes=deciding,
+                        available_charge=np.maximum(
+                            0.0, c_dec * (gamma - (1.0 - c_dec) * delta)
+                        ),
+                        alive=alive[rows],
+                        current=currents[deciding, epoch_idx[deciding]],
+                        time=time_t[deciding] * time_step,
+                        job_index=job_index[deciding],
+                        is_switchover=switchover[deciding],
+                        previous_choice=prev_choice[deciding],
+                    )
+                    choice = np.asarray(policy.choose(context), dtype=np.int64)
+                    if choice.shape != (deciding.size,):
+                        raise ValueError(
+                            f"policy {policy.name!r} returned shape "
+                            f"{choice.shape}, expected ({deciding.size},)"
+                        )
+                    if np.any((choice < 0) | (choice >= n_bat)):
+                        raise ValueError(
+                            f"policy {policy.name!r} chose a battery that does not exist"
+                        )
+                    if not np.all(alive[rows, choice]):
+                        raise ValueError(
+                            f"policy {policy.name!r} chose a battery that is already empty"
+                        )
+                    decisions[deciding] += 1
+                    serving[deciding] = choice
+                    prev_choice[deciding] = choice
+                    # The accumulator persists only when the same battery
+                    # keeps serving at the same rate with no idle tick in
+                    # between; any other transition restarts it (scalar
+                    # ``disch_rate`` reset rule).
+                    stale = (
+                        (acc_b[deciding] != choice)
+                        | (acc_cur[deciding] != cur_s[deciding])
+                        | (acc_ct[deciding] != ct_s[deciding])
+                    )
+                    acc[deciding[stale]] = 0
+                    acc_b[deciding] = choice
+                    acc_cur[deciding] = cur_s[deciding]
+                    acc_ct[deciding] = ct_s[deciding]
+                    need_decide[deciding] = False
+            if act.size == 0:
+                break
+
+            # ---- jump every scenario to one tick before its next event.
+            recov_act = recov[act]
+            m_act = m[act]
+            live_rec = ~empty[act] & (m_act > 1)
+            steps = tables[table_id[act], m_act]
+            # A draw can raise m into a *shorter* equation-(6) step than the
+            # ticks already accumulated; the scalar counter then fires on
+            # the very next tick, so the distance is clamped at one.
+            dt_rec = np.where(
+                live_rec, np.maximum(steps - recov_act, 1), BIG
+            ).min(axis=1)
+            srv = serving[act]
+            is_srv = srv >= 0
+            cta = ct_s[act]
+            cura = cur_s[act]
+            acc_act = acc[act]
+            dt_draw = np.where(
+                is_srv, -((acc_act - cta) // np.maximum(cura, 1)), BIG
+            )
+            k = np.minimum(np.minimum(remaining[act], dt_rec), dt_draw)
+
+            # ---- advance k ticks at once: the k-1 quiet ticks move every
+            # counter linearly, and the k-th tick is the event tick with the
+            # scalar tick's exact semantics.  Recovery first: every live
+            # lane above one height unit counts k ticks, and a lane
+            # reaching its equation-(6) step drops one unit (by the choice
+            # of k this can only happen on the event tick itself).
+            inc = recov_act + np.where(live_rec, k[:, None], 0)
+            rec_hit = live_rec & (inc >= steps)
+            m[act] = m_act - rec_hit
+            recov[act] = np.where(rec_hit, 0, inc)
+            acc_act = acc_act + np.where(is_srv, k * cura, 0)
+            acc[act] = acc_act
+            time_t[act] += k
+            remaining[act] -= k
+
+            # Discharge: the serving lane's accumulator gains ``cur`` per
+            # tick; each time it reaches ``cur_times`` one unit moves from
+            # n to m, with the per-mille emptiness criterion checked per
+            # drawn unit.  Draws are events, so they land on the event tick.
+            sv = act[is_srv]
+            served_empty = np.zeros(sv.size, dtype=bool)
+            if sv.size:
+                bb = serving[sv]
+                todo = np.flatnonzero(acc_act[is_srv] >= cta[is_srv])
+                while todo.size:
+                    lanes = sv[todo]
+                    bsel = bb[todo]
+                    nn = n[lanes, bsel]
+                    mm = m[lanes, bsel]
+                    crit_now = q[lanes, bsel] * mm >= cp[lanes, bsel] * nn
+                    if crit_now.any():
+                        # Already empty at the draw instant (defensive, like
+                        # the scalar tick): observe, draw nothing further.
+                        empty[lanes[crit_now], bsel[crit_now]] = True
+                        served_empty[todo[crit_now]] = True
+                    drew = ~crit_now
+                    dl = lanes[drew]
+                    if dl.size == 0:
+                        break
+                    db = bsel[drew]
+                    n[dl, db] = nn[drew] - 1
+                    m[dl, db] = mm[drew] + 1
+                    acc[dl] -= ct_s[dl]
+                    crit_after = q[dl, db] * m[dl, db] >= cp[dl, db] * n[dl, db]
+                    if crit_after.any():
+                        empty[dl[crit_after], db[crit_after]] = True
+                        served_empty[todo[drew][crit_after]] = True
+                    again = todo[drew][~crit_after]
+                    todo = again[acc[sv[again]] >= ct_s[sv[again]]]
+
+            # ---- post-tick: serving batteries observed empty this tick.
+            if served_empty.any():
+                hit = sv[served_empty]
+                crit_all = q[hit] * m[hit] >= cp[hit] * n[hit]
+                alive_after = ~empty[hit] & ~crit_all
+                died = ~np.any(alive_after, axis=1)
+                dead = hit[died]
+                serving[hit] = -1
+                if dead.size:
+                    lifetime_t[dead] = time_t[dead]
+                    active[dead] = False
+                surv = hit[~died]
+                if surv.size:
+                    # Mid-job handover (Section 4.3): decide again before
+                    # the next tick if the job has ticks left.
+                    cont = surv[remaining[surv] > 0]
+                    need_decide[cont] = True
+                    switchover[cont] = True
+                if dead.size:
+                    act = act[active[act]]
+
+        gamma = n * charge_unit
+        delta = m * dp.height_unit
+        survived = lifetime_t < 0
+        lifetimes = np.where(survived, np.nan, lifetime_t * time_step)
+        return BatchResult(
+            policy_name=policy.name,
+            lifetimes=lifetimes,
+            decisions=decisions,
+            residual_charge=np.sum(gamma, axis=1),
+            final_states=np.stack([gamma, delta], axis=-1),
+            lifetime_ticks=lifetime_t,
+            charge_units=np.stack([n, m], axis=-1),
         )
 
     # ------------------------------------------------------------------ #

@@ -1,4 +1,4 @@
-"""Vectorized NumPy kernels for the analytical KiBaM.
+"""Vectorized NumPy kernels for the analytical KiBaM and the dKiBaM.
 
 These kernels are the array-shaped counterpart of
 :mod:`repro.kibam.analytical` and :func:`repro.kibam.lifetime.time_to_empty`.
@@ -14,15 +14,26 @@ order as the scalar code.  The only intentional difference is the root
 finder for the empty-crossing time: the scalar path uses Brent's method
 (``xtol=rtol=1e-12``) while the batch path uses a fixed-point vectorized
 bisection, both of which locate the crossing to well below 1e-10 minutes.
+
+The *discrete* model (``model="discrete"``, Section 2.3's dKiBaM) is carried
+by :class:`DiscreteKernelParams`: integer charge/height-unit counts, the
+per-mille emptiness coefficients and the precomputed equation-(6) recovery
+tables, one row per distinct battery parameter set, in either the shared
+``(n_batteries,)`` or the per-scenario ``(n_scenarios, n_batteries)`` layout
+of :class:`KernelParams`.  Here the parity bar is *exact*: the batch state
+is integer charge units stepped by the same Bresenham draw accumulator as
+:class:`repro.kibam.discrete.DiscreteKibam`, so batch and scalar dKiBaM
+agree unit for unit and tick for tick, not merely to a float tolerance.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.kibam.discrete import DiscreteKibam
 from repro.kibam.parameters import BatteryParameters
 
 #: Index of gamma (total charge) in the last axis of a batch state array.
@@ -142,6 +153,166 @@ class KernelParams:
             capacity=np.tile(self.capacity, (times, 1)),
             c=np.tile(self.c, (times, 1)),
             k_prime=np.tile(self.k_prime, (times, 1)),
+        )
+
+    def discretize(
+        self, time_step: float = 0.01, charge_unit: float = 0.01
+    ) -> "DiscreteKernelParams":
+        """The dKiBaM form of these parameters (``model="discrete"``)."""
+        return DiscreteKernelParams.from_kernel_params(
+            self, time_step=time_step, charge_unit=charge_unit
+        )
+
+
+#: Recovery-table sentinel: an entry no tick counter ever reaches (the
+#: scalar table uses ``2**62`` for the non-recovering heights 0 and 1).
+DISCRETE_UNREACHABLE = 2**62
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscreteKernelParams:
+    """dKiBaM parameters in array form, shaped like :class:`KernelParams`.
+
+    All per-battery arrays follow the same two layouts as the analytical
+    parameters: ``(n_batteries,)`` shared by every scenario, or
+    ``(n_scenarios, n_batteries)`` per-scenario.  The integer tables are
+    built through the scalar :class:`repro.kibam.discrete.DiscreteKibam`
+    (one instance per distinct parameter triple), so every derived quantity
+    -- unit counts, per-mille coefficients, equation-(6) recovery ticks,
+    the ``Gamma / c`` height unit -- is byte-identical to what the scalar
+    reference computes.
+
+    Attributes:
+        time_step: tick length ``T`` in minutes.
+        charge_unit: charge unit ``Gamma`` in Amin.
+        total_units: full-charge unit count ``N`` per battery lane (int64).
+        c_permille: integer per-mille ``c`` per lane (equation (8)'s form).
+        c: float ``c`` per lane (for the policy-facing available charge).
+        height_unit: height-difference step ``Gamma / c`` per lane (Amin).
+        tables: recovery tick tables, shape ``(n_distinct, max_len)``,
+            padded with :data:`DISCRETE_UNREACHABLE`; ``tables[k, m]`` is
+            the number of ticks for the height difference to drop from
+            ``m`` to ``m - 1`` units under parameter set ``k``.
+        table_id: per-lane row index into ``tables`` (int64).
+    """
+
+    time_step: float
+    charge_unit: float
+    total_units: np.ndarray
+    c_permille: np.ndarray
+    c: np.ndarray
+    height_unit: np.ndarray
+    tables: np.ndarray
+    table_id: np.ndarray
+
+    @staticmethod
+    def from_kernel_params(
+        kp: KernelParams, time_step: float = 0.01, charge_unit: float = 0.01
+    ) -> "DiscreteKernelParams":
+        shape = kp.capacity.shape
+        triples = np.stack(
+            [
+                kp.capacity.reshape(-1),
+                kp.c.reshape(-1),
+                kp.k_prime.reshape(-1),
+            ],
+            axis=1,
+        )
+        distinct: Dict[Tuple[float, float, float], int] = {}
+        models: List[DiscreteKibam] = []
+        table_id = np.zeros(triples.shape[0], dtype=np.int64)
+        for lane, (capacity, c, k_prime) in enumerate(triples):
+            key = (float(capacity), float(c), float(k_prime))
+            if key not in distinct:
+                distinct[key] = len(models)
+                models.append(
+                    DiscreteKibam(
+                        BatteryParameters(capacity=key[0], c=key[1], k_prime=key[2]),
+                        time_step=time_step,
+                        charge_unit=charge_unit,
+                    )
+                )
+            table_id[lane] = distinct[key]
+        max_len = max(len(model.recovery_steps) for model in models)
+        tables = np.full((len(models), max_len), DISCRETE_UNREACHABLE, dtype=np.int64)
+        for row, model in enumerate(models):
+            tables[row, : len(model.recovery_steps)] = model.recovery_steps
+        flat_ids = table_id
+        return DiscreteKernelParams(
+            time_step=time_step,
+            charge_unit=charge_unit,
+            total_units=np.array(
+                [models[i].total_units for i in flat_ids], dtype=np.int64
+            ).reshape(shape),
+            c_permille=np.array(
+                [models[i].c_permille for i in flat_ids], dtype=np.int64
+            ).reshape(shape),
+            c=kp.c.astype(np.float64, copy=True),
+            height_unit=np.array(
+                [models[i].height_unit for i in flat_ids], dtype=np.float64
+            ).reshape(shape),
+            tables=tables,
+            table_id=flat_ids.reshape(shape),
+        )
+
+    @property
+    def per_scenario(self) -> bool:
+        return self.total_units.ndim == 2
+
+    @property
+    def n_batteries(self) -> int:
+        return self.total_units.shape[-1]
+
+    @property
+    def n_scenarios(self) -> "int | None":
+        return self.total_units.shape[0] if self.per_scenario else None
+
+    def expanded(self, n_scenarios: int) -> "DiscreteKernelParams":
+        """Per-lane arrays materialized to ``(n_scenarios, n_batteries)``.
+
+        The batch dKiBaM loop indexes lanes with fancy ``(scenario,
+        battery)`` pairs, which needs concrete 2-D arrays; shared parameters
+        are broadcast, per-scenario parameters are validated and returned
+        as-is.
+        """
+        if self.per_scenario:
+            if self.n_scenarios != n_scenarios:
+                raise ValueError(
+                    f"per-scenario parameters cover {self.n_scenarios} "
+                    f"scenarios, but the batch has {n_scenarios}"
+                )
+            return self
+        shape = (n_scenarios, self.n_batteries)
+
+        def spread(array: np.ndarray) -> np.ndarray:
+            return np.ascontiguousarray(np.broadcast_to(array[None, :], shape))
+
+        return DiscreteKernelParams(
+            time_step=self.time_step,
+            charge_unit=self.charge_unit,
+            total_units=spread(self.total_units),
+            c_permille=spread(self.c_permille),
+            c=spread(self.c),
+            height_unit=spread(self.height_unit),
+            tables=self.tables,
+            table_id=spread(self.table_id),
+        )
+
+    def tiled(self, times: int) -> "DiscreteKernelParams":
+        """Scenario rows repeated ``times`` times (for stacked policy runs)."""
+        if times < 1:
+            raise ValueError("times must be at least 1")
+        if not self.per_scenario or times == 1:
+            return self
+        return DiscreteKernelParams(
+            time_step=self.time_step,
+            charge_unit=self.charge_unit,
+            total_units=np.tile(self.total_units, (times, 1)),
+            c_permille=np.tile(self.c_permille, (times, 1)),
+            c=np.tile(self.c, (times, 1)),
+            height_unit=np.tile(self.height_unit, (times, 1)),
+            tables=self.tables,
+            table_id=np.tile(self.table_id, (times, 1)),
         )
 
 

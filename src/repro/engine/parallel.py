@@ -1,12 +1,13 @@
 """Chunked multiprocessing executor for non-vectorizable workloads.
 
-The analytical backend scales across *array lanes* (see
-:mod:`repro.engine.batch`); the discrete dKiBaM and the optimal
-branch-and-bound scheduler are Python-loop heavy and scale across *cores*
-instead.  This module provides the small amount of plumbing both need: an
-order-preserving parallel map over chunks of work items, degrading
-gracefully to an in-process loop when only one worker is requested (or
-available), so callers never need two code paths.
+The analytical and discrete battery models scale across *array lanes* (see
+:mod:`repro.engine.batch`); what remains Python-loop heavy -- chiefly the
+optimal branch-and-bound scheduler, plus scalar golden-reference
+verification sweeps -- scales across *cores* instead.  This module provides
+the small amount of plumbing those need: an order-preserving parallel map
+over chunks of work items, degrading gracefully to an in-process loop when
+only one worker is requested (or available), so callers never need two code
+paths.
 
 Worker callables must be picklable (module-level functions);
 :func:`simulate_lifetimes_chunk` and :func:`optimal_lifetimes_chunk` are
@@ -123,7 +124,9 @@ def simulate_lifetimes_chunk(
     """Worker: scalar policy lifetimes for a chunk of loads.
 
     Returns one lifetime per load (``None`` when the batteries survive).
-    Used for discrete-dKiBaM sweeps where the vector engine does not apply.
+    Used for scalar golden-reference sweeps (``engine="scalar"`` with
+    ``n_workers > 1``); since the dKiBaM tick loop was vectorized, the
+    batch engine covers discrete sweeps directly.
     """
     from repro.core.policies import make_policy
 

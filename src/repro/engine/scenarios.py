@@ -16,8 +16,26 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.kibam.discrete import discharge_spec_for, duration_ticks
 from repro.workloads.generator import RandomLoadConfig, generate_random_load
 from repro.workloads.load import Load
+
+
+@dataclasses.dataclass(frozen=True)
+class DiscreteScenarioArrays:
+    """Epoch arrays of a scenario batch in dKiBaM integer form.
+
+    For ``model="discrete"`` runs every epoch current is converted to its
+    equation-(7) integer pair (``cur`` charge units per ``cur_times`` ticks)
+    and every duration to a whole number of ticks, through the same
+    conversions as the scalar :class:`repro.kibam.discrete.DiscreteKibam`.
+    All arrays share the padded ``(n_scenarios, max_epochs)`` layout of
+    :class:`ScenarioSet`; padded epochs are idle with zero ticks.
+    """
+
+    cur: np.ndarray
+    cur_times: np.ndarray
+    ticks: np.ndarray
 
 
 @dataclasses.dataclass(frozen=True)
@@ -114,6 +132,38 @@ class ScenarioSet:
             currents=np.tile(self.currents, (times, 1)),
             durations=np.tile(self.durations, (times, 1)),
             n_epochs=np.tile(self.n_epochs, times),
+        )
+
+    def discretized(
+        self, time_step: float = 0.01, charge_unit: float = 0.01
+    ) -> DiscreteScenarioArrays:
+        """The batch's epochs as dKiBaM integer arrays (``model="discrete"``).
+
+        Raises ``ValueError`` when a current or duration is not exactly
+        representable at the given discretization, exactly like the scalar
+        dKiBaM would.  Conversions are cached per distinct value, so loads
+        built from a few current levels and step-rounded durations (the
+        paper loads, every random generator) discretize in O(distinct)
+        Fraction work rather than O(epochs).
+        """
+        # Padded epochs carry current 0.0 / duration 0.0, which convert to
+        # the idle spec and zero ticks, so the whole padded arrays convert
+        # through their distinct values in one pass.
+        currents, cur_inverse = np.unique(self.currents, return_inverse=True)
+        cur_map = np.empty(currents.shape[0], dtype=np.int64)
+        ct_map = np.empty(currents.shape[0], dtype=np.int64)
+        for index, current in enumerate(currents):
+            spec = discharge_spec_for(float(current), time_step, charge_unit)
+            cur_map[index], ct_map[index] = spec.cur, spec.cur_times
+        durations, dur_inverse = np.unique(self.durations, return_inverse=True)
+        tick_map = np.array(
+            [duration_ticks(float(d), time_step) for d in durations], dtype=np.int64
+        )
+        shape = self.currents.shape
+        return DiscreteScenarioArrays(
+            cur=cur_map[cur_inverse].reshape(shape),
+            cur_times=ct_map[cur_inverse].reshape(shape),
+            ticks=tick_map[dur_inverse].reshape(shape),
         )
 
     def chunked(self, chunk_size: int) -> Iterator["ScenarioSet"]:

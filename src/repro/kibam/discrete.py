@@ -99,6 +99,53 @@ class DiscreteBatteryState:
     empty: bool = False
 
 
+def discharge_spec_for(
+    current: float,
+    time_step: float,
+    charge_unit: float,
+    max_cur_times: int = 10_000,
+) -> DischargeSpec:
+    """Integer ``(cur, cur_times)`` pair representing ``current`` (equation (7)).
+
+    The ratio ``cur / cur_times`` must equal ``I * T / Gamma``; the smallest
+    such integer pair is returned.  Raises ``ValueError`` when the current
+    cannot be represented with a denominator up to ``max_cur_times`` (pick a
+    finer time step in that case).  Module-level so the batch engine and the
+    scalar :class:`DiscreteKibam` share one conversion.
+    """
+    if current < 0.0:
+        raise ValueError("current must be non-negative")
+    if current == 0.0:
+        return DischargeSpec(cur=0, cur_times=1)
+    ratio = Fraction(current * time_step / charge_unit).limit_denominator(max_cur_times)
+    if ratio.numerator == 0:
+        raise ValueError(
+            f"current {current} A is too small to represent with time step "
+            f"{time_step} and charge unit {charge_unit}"
+        )
+    exact = current * time_step / charge_unit
+    approx = ratio.numerator / ratio.denominator
+    if abs(approx - exact) > 1e-9 * max(1.0, exact):
+        raise ValueError(
+            f"current {current} A is not representable exactly "
+            f"(closest fraction {ratio}); refine the discretization"
+        )
+    return DischargeSpec(cur=ratio.numerator, cur_times=ratio.denominator)
+
+
+def duration_ticks(duration: float, time_step: float) -> int:
+    """Convert a duration in minutes to a whole number of ticks of ``time_step``."""
+    if duration < 0.0:
+        raise ValueError("duration must be non-negative")
+    ticks = round(duration / time_step)
+    if abs(ticks * time_step - duration) > 1e-9:
+        raise ValueError(
+            f"duration {duration} min is not a multiple of the time step "
+            f"{time_step} min"
+        )
+    return ticks
+
+
 def recovery_steps_table(
     params: BatteryParameters,
     time_step: float,
@@ -189,24 +236,9 @@ class DiscreteKibam:
         the current cannot be represented with a denominator up to
         ``max_cur_times`` (pick a finer time step in that case).
         """
-        if current < 0.0:
-            raise ValueError("current must be non-negative")
-        if current == 0.0:
-            return DischargeSpec(cur=0, cur_times=1)
-        ratio = Fraction(current * self.time_step / self.charge_unit).limit_denominator(max_cur_times)
-        if ratio.numerator == 0:
-            raise ValueError(
-                f"current {current} A is too small to represent with time step "
-                f"{self.time_step} and charge unit {self.charge_unit}"
-            )
-        exact = current * self.time_step / self.charge_unit
-        approx = ratio.numerator / ratio.denominator
-        if abs(approx - exact) > 1e-9 * max(1.0, exact):
-            raise ValueError(
-                f"current {current} A is not representable exactly "
-                f"(closest fraction {ratio}); refine the discretization"
-            )
-        return DischargeSpec(cur=ratio.numerator, cur_times=ratio.denominator)
+        return discharge_spec_for(
+            current, self.time_step, self.charge_unit, max_cur_times=max_cur_times
+        )
 
     # ------------------------------------------------------------------ #
     # dynamics
@@ -313,15 +345,7 @@ class DiscreteKibam:
 
     def duration_to_ticks(self, duration: float) -> int:
         """Convert a duration in minutes to a whole number of ticks."""
-        if duration < 0.0:
-            raise ValueError("duration must be non-negative")
-        ticks = round(duration / self.time_step)
-        if abs(ticks * self.time_step - duration) > 1e-9:
-            raise ValueError(
-                f"duration {duration} min is not a multiple of the time step "
-                f"{self.time_step} min"
-            )
-        return ticks
+        return duration_ticks(duration, self.time_step)
 
     def lifetime_under_segments(self, segments: Iterable[Segment]) -> Optional[float]:
         """Lifetime (minutes) of a full battery under a piecewise-constant load.

@@ -4,6 +4,7 @@ Exposed through ``python -m repro``::
 
     python -m repro sweep specs                      # list built-in campaigns
     python -m repro sweep run --spec table5          # run (resume) a campaign
+    python -m repro sweep run --spec table5 --model discrete   # dKiBaM column
     python -m repro sweep run --spec-file my.json    # run a custom spec
     python -m repro sweep status                     # what is in the store
     python -m repro sweep show --spec table5         # aggregate stored results
@@ -29,6 +30,25 @@ from repro.sweep.store import ResultStore
 #: Default on-disk location of the result store, relative to the CWD.
 DEFAULT_STORE = ".sweep-store"
 
+#: Battery models selectable with ``--model``.
+MODEL_CHOICES = ("analytical", "discrete", "linear")
+
+
+def _usage_error(message: str) -> SystemExit:
+    """A clean usage failure: one line on stderr, exit code 2 (no traceback)."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _known_store_specs(store: ResultStore) -> str:
+    """One-line summary of the spec names/hashes a store actually holds."""
+    names = sorted(
+        {entry.name or entry.spec_hash for entry in store.entries()}
+    )
+    if not names:
+        return f"store {store.root} is empty"
+    return f"store {store.root} holds: {', '.join(names)}"
+
 
 def _load_spec(args: argparse.Namespace) -> SweepSpec:
     if getattr(args, "spec_file", None):
@@ -39,19 +59,21 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
         specs = builtin_specs()
         if args.spec not in specs:
             known = ", ".join(sorted(specs))
-            raise SystemExit(
-                f"unknown built-in spec {args.spec!r}; available: {known} "
-                "(or pass --spec-file)"
+            raise _usage_error(
+                f"unknown spec {args.spec!r}; known specs: {known} "
+                "(or pass --spec-file PATH)"
             )
         spec = specs[args.spec]
     else:
-        raise SystemExit("pass --spec NAME or --spec-file PATH")
+        raise _usage_error("pass --spec NAME or --spec-file PATH")
     if getattr(args, "chunk_size", None) is not None:
         if args.chunk_size < 1:
-            raise SystemExit(
+            raise _usage_error(
                 f"--chunk-size must be at least 1, got {args.chunk_size}"
             )
         spec = SweepSpec.from_dict({**spec.to_dict(), "chunk_size": args.chunk_size})
+    if getattr(args, "model", None) is not None:
+        spec = spec.with_model(args.model)
     return spec
 
 
@@ -73,7 +95,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"sweep {spec.name!r} [{spec.spec_hash()}]: "
             f"{spec.n_scenarios} scenarios x {len(spec.policies)} policies, "
-            f"{spec.n_chunks} chunk(s), backend={spec.backend}"
+            f"{spec.n_chunks} chunk(s), model={spec.model}"
         )
     result = runner.run(spec, force=args.force, progress=progress)
     print(result.render())
@@ -116,17 +138,22 @@ def _cmd_show(args: argparse.Namespace) -> int:
         try:
             entry = store.find(args.hash)
         except ValueError as error:
-            raise SystemExit(str(error))
+            raise _usage_error(str(error))
         if entry is None:
-            raise SystemExit(f"no sweep matching {args.hash!r} in {store.root}")
+            raise _usage_error(
+                f"no sweep matching {args.hash!r}; {_known_store_specs(store)}"
+            )
         spec = SweepSpec.from_dict(store.load_manifest(entry.spec_hash)["spec"])
     else:
-        raise SystemExit("pass --spec NAME, --spec-file PATH or --hash PREFIX")
+        raise _usage_error("pass --spec NAME, --spec-file PATH or --hash PREFIX")
     runner = SweepRunner(store)
     try:
         result = runner.load(spec)
-    except FileNotFoundError as error:
-        raise SystemExit(str(error))
+    except FileNotFoundError:
+        raise _usage_error(
+            f"sweep {spec.name!r} [{spec.spec_hash()}] is not fully stored; "
+            f"{_known_store_specs(store)} (run it first with `sweep run`)"
+        )
     print(result.render())
     return 0
 
@@ -150,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--spec-file", help="path to a JSON sweep spec")
         p.add_argument(
             "--chunk-size", type=int, help="override the spec's chunk size"
+        )
+        p.add_argument(
+            "--model",
+            choices=MODEL_CHOICES,
+            help="override the spec's battery model (enters the content "
+            "hash, so analytical and discrete results never alias)",
         )
 
     specs_parser = sub.add_parser("specs", help="list built-in sweep specs")

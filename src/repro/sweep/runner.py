@@ -4,8 +4,11 @@
 into numbers.  Scenarios are cut into fixed chunks; each *pending* chunk is
 dispatched through :class:`repro.engine.batch.BatchSimulator` -- with
 per-scenario battery-parameter arrays whenever the chunk mixes battery
-configurations, so a whole parameter grid advances as one vectorized batch
--- and persisted into the content-addressed
+configurations, so a whole parameter grid advances as one vectorized batch,
+under either vectorized battery model (``spec.backend`` selects
+``"analytical"`` or the exact-integer ``"discrete"`` dKiBaM; the model is
+part of the spec hash, so the two never alias in the store) -- and
+persisted into the content-addressed
 :class:`repro.sweep.store.ResultStore`.  Chunks already on disk are loaded
 instead of recomputed, which makes re-runs cache hits and interrupted
 sweeps resume from the last completed chunk.

@@ -313,8 +313,11 @@ class SweepSpec:
         batteries: battery configurations to sweep over.
         loads: load axes; their resolved loads are concatenated in order.
         policies: scheduling policy names evaluated on every scenario.
-        backend: battery backend (``"analytical"`` runs vectorized;
-            ``"discrete"``/``"linear"`` run through the scalar fallback).
+        backend: battery model (``"analytical"`` and ``"discrete"`` both
+            run vectorized; ``"linear"`` runs through the scalar fallback).
+            Part of the content hash, so analytical and discrete results of
+            an otherwise identical campaign never alias in the store;
+            :attr:`model` / :meth:`with_model` are the preferred spelling.
         chunk_size: scenarios per stored chunk (the resume granularity).
         description: free text shown by the CLI (not hashed).
     """
@@ -348,6 +351,23 @@ class SweepSpec:
             raise ValueError(f"policy names must be unique, got {list(self.policies)}")
         if self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1")
+
+    # -- battery model -------------------------------------------------- #
+    @property
+    def model(self) -> str:
+        """The battery model of this campaign (alias of :attr:`backend`)."""
+        return self.backend
+
+    def with_model(self, model: str) -> "SweepSpec":
+        """This campaign under another battery model.
+
+        The model enters the content hash, so e.g. ``table5`` and
+        ``table5.with_model("discrete")`` address different store entries
+        and can never alias each other's results.
+        """
+        if model == self.backend:
+            return self
+        return dataclasses.replace(self, backend=model)
 
     # -- serialization and hashing -------------------------------------- #
     def to_dict(self) -> dict:

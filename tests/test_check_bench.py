@@ -1,0 +1,120 @@
+"""Tests for the CI benchmark-regression gate (scripts/check_bench.py).
+
+The gate's contract: compare the throughput *ratios* of freshly written
+``BENCH_*.json`` records against committed baselines, tolerate noise up to
+the allowed fraction, and fail hard beyond it -- demonstrated here with an
+injected 50% synthetic regression, the scenario the CI step must catch.
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+SCRIPT = (
+    pathlib.Path(__file__).resolve().parents[1] / "scripts" / "check_bench.py"
+)
+
+
+@pytest.fixture(scope="module")
+def check_bench():
+    spec = importlib.util.spec_from_file_location("check_bench", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_bench"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def write_records(directory, speedups):
+    directory.mkdir(parents=True, exist_ok=True)
+    for (name, key), value in speedups.items():
+        (directory / name).write_text(json.dumps({key: value, "noise": "x"}))
+
+
+def all_checks(check_bench, value):
+    return {pair: value for pair in check_bench.CHECKS}
+
+
+class TestGateDecisions:
+    def test_matching_ratios_pass(self, check_bench, tmp_path):
+        write_records(tmp_path / "fresh", all_checks(check_bench, 20.0))
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 0
+
+    def test_noise_within_tolerance_passes(self, check_bench, tmp_path):
+        # 25% below baseline: inside the 30% envelope.
+        write_records(tmp_path / "fresh", all_checks(check_bench, 15.0))
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 0
+
+    def test_injected_50_percent_regression_fails(self, check_bench, tmp_path):
+        """The acceptance demonstration: a synthetic 50% throughput
+        regression (every ratio halved) must fail the gate."""
+        write_records(tmp_path / "fresh", all_checks(check_bench, 10.0))
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
+    def test_single_record_regression_fails(self, check_bench, tmp_path):
+        fresh = all_checks(check_bench, 20.0)
+        fresh[("BENCH_dkibam.json", "speedup")] = 9.0  # 55% drop
+        write_records(tmp_path / "fresh", fresh)
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
+    def test_missing_fresh_record_fails(self, check_bench, tmp_path):
+        (tmp_path / "fresh").mkdir()
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
+    def test_missing_baseline_skips(self, check_bench, tmp_path):
+        """A brand-new benchmark has no committed baseline yet: no failure."""
+        write_records(tmp_path / "fresh", all_checks(check_bench, 20.0))
+        (tmp_path / "base").mkdir()
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 0
+
+    def test_wider_tolerance_accepts_half(self, check_bench, tmp_path):
+        write_records(tmp_path / "fresh", all_checks(check_bench, 10.0))
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base"),
+             "--max-regression", "0.6"]
+        ) == 0
+
+    def test_ratios_not_absolute_seconds(self, check_bench, tmp_path):
+        """A uniformly slower machine (same ratios, 10x the seconds) passes."""
+        fresh_dir, base_dir = tmp_path / "fresh", tmp_path / "base"
+        for directory, seconds in ((fresh_dir, 50.0), (base_dir, 5.0)):
+            directory.mkdir()
+            for name, key in check_bench.CHECKS:
+                (directory / name).write_text(
+                    json.dumps({key: 20.0, "batch_seconds_per_sweep": seconds})
+                )
+        assert check_bench.main(
+            ["--fresh-dir", str(fresh_dir), "--baseline-dir", str(base_dir)]
+        ) == 0
+
+    def test_git_baseline_against_head(self, check_bench):
+        """The CI default path: baselines from `git show HEAD:...`."""
+        baseline = check_bench.load_baseline("BENCH_engine.json", "HEAD", None)
+        assert baseline is not None and "speedup" in baseline

@@ -291,21 +291,29 @@ class TestScalarBatchEquivalence:
 
 
 class TestFallbacks:
-    def test_discrete_backend_falls_back_to_scalar(self):
+    def test_linear_backend_falls_back_to_scalar(self):
         loads = [generate_random_load(700 + i, FAST_CONFIG) for i in range(2)]
-        batch = BatchSimulator(
-            [SMALL, SMALL], backend="discrete", time_step=0.05, charge_unit=0.05
-        ).run(ScenarioSet.from_loads(loads), "best-of-two")
+        batch = BatchSimulator([SMALL, SMALL], backend="linear").run(
+            ScenarioSet.from_loads(loads), "best-of-two"
+        )
         for index, load in enumerate(loads):
             scalar = simulate_policy(
-                [SMALL, SMALL],
-                load,
-                "best-of-two",
-                backend="discrete",
-                time_step=0.05,
-                charge_unit=0.05,
+                [SMALL, SMALL], load, "best-of-two", backend="linear"
             )
             assert batch.lifetimes[index] == scalar.lifetime
+
+    def test_discrete_with_unvectorizable_policy_falls_back(self):
+        from repro.core.policies import RandomPolicy
+
+        loads = [generate_random_load(705, FAST_CONFIG)]
+        batch = BatchSimulator([SMALL, SMALL], model="discrete").run(
+            ScenarioSet.from_loads(loads), RandomPolicy(seed=5)
+        )
+        scalar = simulate_policy(
+            [SMALL, SMALL], loads[0], RandomPolicy(seed=5), backend="discrete"
+        )
+        assert batch.lifetimes[0] == scalar.lifetime
+        assert batch.lifetime_ticks is None  # scalar fallback, no tick record
 
     def test_unvectorizable_policy_falls_back(self):
         from repro.core.policies import RandomPolicy
@@ -448,6 +456,184 @@ class TestLifetimeDistributionEdgeCases:
         )
         for dist in result.distributions.values():
             assert dist.samples == 1 and dist.stdev == 0.0
+
+
+class TestDiscreteBatch:
+    """``model="discrete"``: exact integer parity with the scalar dKiBaM.
+
+    The analytical engine is pinned to the scalar path at 1e-9 minutes; the
+    discrete engine's contract is stronger -- the batch state is the same
+    integer charge/height units the scalar tick loop advances, so lifetimes
+    (in ticks), final ``(n, m)`` states and decision counts must match the
+    golden-reference :class:`MultiBatterySimulator` *exactly*, not merely
+    within a float tolerance.
+    """
+
+    @staticmethod
+    def assert_tick_exact(
+        params, loads, policy, time_step=0.01, charge_unit=0.01, rows=None
+    ):
+        simulator = BatchSimulator(
+            params if rows is None else rows,
+            model="discrete",
+            time_step=time_step,
+            charge_unit=charge_unit,
+        )
+        batch = simulator.run(ScenarioSet.from_loads(loads), policy)
+        assert batch.lifetime_ticks is not None and batch.charge_units is not None
+        for index, load in enumerate(loads):
+            scalar_params = list(params if rows is None else rows[index])
+            scalar = simulate_policy(
+                scalar_params,
+                load,
+                policy,
+                backend="discrete",
+                time_step=time_step,
+                charge_unit=charge_unit,
+            )
+            if scalar.lifetime is None:
+                assert batch.lifetime_ticks[index] == -1
+                assert math.isnan(batch.lifetimes[index])
+            else:
+                assert batch.lifetime_ticks[index] == round(
+                    scalar.lifetime / time_step
+                )
+                assert batch.lifetimes[index] == pytest.approx(
+                    scalar.lifetime, abs=1e-9
+                )
+            assert batch.decisions[index] == scalar.decisions
+            for battery, state in enumerate(scalar.final_states):
+                assert batch.charge_units[index, battery, 0] == state.n
+                assert batch.charge_units[index, battery, 1] == state.m
+            assert batch.residual_charge[index] == pytest.approx(
+                scalar.residual_charge, abs=1e-12
+            )
+
+    @pytest.mark.parametrize("policy", ("sequential", "round-robin", "best-of-two"))
+    def test_paper_loads_tick_for_tick(self, policy):
+        """The acceptance pin: exact parity on all ten paper loads, 2 x B1."""
+        from repro.workloads.profiles import paper_loads
+
+        self.assert_tick_exact([B1, B1], list(paper_loads().values()), policy)
+
+    def test_single_battery_matches_lifetime_under_segments(self):
+        from repro.kibam.discrete import DiscreteKibam
+        from repro.workloads.profiles import paper_loads
+
+        load = paper_loads()["ILs 500"]
+        segments = [(epoch.current, epoch.duration) for epoch in load.epochs]
+        reference = DiscreteKibam(B1).lifetime_under_segments(segments)
+        batch = BatchSimulator([B1], model="discrete").run(
+            ScenarioSet.from_loads([load]), "sequential"
+        )
+        assert reference is not None
+        assert batch.lifetime_ticks[0] == round(reference / 0.01)
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    def test_random_loads_with_switchovers(self, policy):
+        config = RandomLoadConfig(
+            levels=(0.4, 0.6),
+            job_duration_range=(1.0, 3.0),
+            idle_duration_range=(0.0, 0.0),
+            total_duration=30.0,
+            duration_step=0.25,
+        )
+        loads = [generate_random_load(400 + i, config) for i in range(6)]
+        self.assert_tick_exact([SMALL, SMALL], loads, policy)
+
+    def test_awkward_currents_with_bresenham_spread(self):
+        # 0.124 A is 31 units per 250 ticks (cur > 1, the PR 2 accumulator
+        # pathology) and 1.5 A is 3 units per 2 ticks (several draws per
+        # tick); both must spread exactly like the scalar accumulator.
+        config = RandomLoadConfig(
+            levels=(0.124, 0.5, 1.5),
+            job_duration_range=(0.5, 1.0),
+            idle_duration_range=(0.0, 1.0),
+            total_duration=20.0,
+            duration_step=0.25,
+        )
+        loads = [generate_random_load(900 + i, config) for i in range(6)]
+        self.assert_tick_exact([SMALL, SMALL], loads, "best-of-two")
+
+    def test_coarser_discretization(self):
+        loads = [generate_random_load(150 + i, FAST_CONFIG) for i in range(4)]
+        self.assert_tick_exact(
+            [SMALL, SMALL], loads, "best-of-two", time_step=0.05, charge_unit=0.05
+        )
+
+    def test_per_scenario_parameter_rows(self):
+        loads = [generate_random_load(seed, FAST_CONFIG) for seed in range(5)]
+        rows = [
+            (
+                BatteryParameters(capacity=0.5 + 0.1 * i, c=0.166, k_prime=0.122),
+                BatteryParameters(capacity=0.9, c=0.2, k_prime=0.15),
+            )
+            for i in range(5)
+        ]
+        for policy in ("sequential", "best-of-two"):
+            self.assert_tick_exact(None, loads, policy, rows=rows)
+
+    def test_run_many_stack_is_bitwise_identical_to_solo(self):
+        # Unlike the analytical stack (whose np.exp SIMD paths vary with
+        # array size), the discrete state is integer arithmetic: stacked
+        # and solo runs must agree exactly, field for field.
+        loads = [generate_random_load(320 + i, FAST_CONFIG) for i in range(6)]
+        scen = ScenarioSet.from_loads(loads)
+        sim = BatchSimulator([SMALL, SMALL], model="discrete")
+        stacked = sim.run_many(scen, ALL_POLICIES)
+        for policy in ALL_POLICIES:
+            solo = sim.run(scen, policy)
+            assert np.array_equal(stacked[policy].lifetime_ticks, solo.lifetime_ticks)
+            assert np.array_equal(stacked[policy].charge_units, solo.charge_units)
+            assert np.array_equal(stacked[policy].decisions, solo.decisions)
+            assert np.array_equal(
+                stacked[policy].residual_charge, solo.residual_charge
+            )
+
+    def test_survivors_and_dead_lanes_coexist(self):
+        dies = Load.from_segments("dies", [(0.5, 1000.0)])
+        survives = Load(
+            name="survives", epochs=(job_epoch(0.1, 0.5), idle_epoch(1.0))
+        )
+        nap = Load(name="nap", epochs=(idle_epoch(5.0), idle_epoch(3.0)))
+        self.assert_tick_exact([SMALL], [dies, survives, nap], "sequential")
+        batch = BatchSimulator([SMALL], model="discrete").run(
+            ScenarioSet.from_loads([dies, survives, nap]), "sequential"
+        )
+        assert not np.isnan(batch.lifetimes[0])
+        assert batch.lifetime_ticks[1] == -1 and batch.lifetime_ticks[2] == -1
+
+    def test_model_keyword_and_backend_alias(self):
+        sim = BatchSimulator([SMALL], model="discrete")
+        assert sim.model == sim.backend == "discrete"
+        assert BatchSimulator([SMALL], backend="discrete").model == "discrete"
+        with pytest.raises(ValueError, match="conflicting"):
+            BatchSimulator([SMALL], backend="analytical", model="discrete")
+
+    def test_unrepresentable_current_rejected(self):
+        # The scalar dKiBaM rejects currents that have no exact integer
+        # (cur, cur_times) pair; the batch conversion must do the same.
+        load = Load.from_segments("bad", [(0.1234567, 1.0)])
+        sim = BatchSimulator([SMALL], model="discrete")
+        with pytest.raises(ValueError, match="not representable"):
+            sim.run(ScenarioSet.from_loads([load]), "sequential")
+
+    def test_montecarlo_discrete_auto_vectorizes(self):
+        kwargs = dict(n_samples=4, config=FAST_CONFIG, seed=21)
+        batch = run_montecarlo(
+            [SMALL, SMALL], engine="auto", model="discrete", **kwargs
+        )
+        scalar = run_montecarlo(
+            [SMALL, SMALL], engine="scalar", backend="discrete", **kwargs
+        )
+        assert batch.engine == "batch" and scalar.engine == "scalar"
+        for policy in batch.per_sample:
+            for a, b in zip(scalar.per_sample[policy], batch.per_sample[policy]):
+                assert b == pytest.approx(a, abs=1e-9)
+        with pytest.raises(ValueError, match="conflicting"):
+            run_montecarlo(
+                [SMALL], engine="auto", model="discrete", backend="linear", **kwargs
+            )
 
 
 class TestPerScenarioKernelParams:

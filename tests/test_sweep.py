@@ -446,9 +446,95 @@ class TestCli:
         for name in builtin_specs():
             assert name in out
 
-    def test_unknown_builtin_rejected(self, tmp_path):
-        with pytest.raises(SystemExit, match="unknown built-in"):
+    def test_unknown_builtin_exits_2_with_spec_hint(self, tmp_path, capsys):
+        """A typo'd spec name exits with code 2 and a one-line name list."""
+        with pytest.raises(SystemExit) as excinfo:
             sweep_cli(["run", "--spec", "nope", "--store", str(tmp_path)])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        for name in builtin_specs():
+            assert name in err
+
+    def test_show_empty_store_exits_2_with_hint(self, tmp_path, capsys):
+        """`show --spec` against an empty store: exit 2, hint, no traceback."""
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["show", "--spec", "table5",
+                       "--store", str(tmp_path / "empty")])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "is empty" in err and "table5" in err
+
+    def test_show_lists_known_specs_when_sweep_missing(self, tmp_path, capsys):
+        """The hint names what the store *does* hold."""
+        spec, spec_path = self.spec_file(tmp_path)
+        store = str(tmp_path / "store")
+        assert sweep_cli(["run", "--spec-file", spec_path, "--store", store]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["show", "--spec", "table5", "--store", store])
+        assert excinfo.value.code == 2
+        assert "unit-test" in capsys.readouterr().err
+
+    def test_show_unmatched_hash_exits_2(self, tmp_path, capsys):
+        spec, spec_path = self.spec_file(tmp_path)
+        store = str(tmp_path / "store")
+        assert sweep_cli(["run", "--spec-file", spec_path, "--store", store]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["show", "--hash", "ffff", "--store", store])
+        assert excinfo.value.code == 2
+
+    def test_table5_smoke_cold_then_cached(self, tmp_path, capsys):
+        """The CI smoke gate, run locally: cold run -> pure cache re-run ->
+        status/show, asserting the `0 run, N cached` line."""
+        store = str(tmp_path / "store")
+        assert sweep_cli(["run", "--spec", "table5", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 run, 0 cached" in out
+
+        assert sweep_cli(["run", "--spec", "table5", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "0 run, 1 cached" in out
+
+        assert sweep_cli(["status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "table5" in out
+
+        assert sweep_cli(["show", "--spec", "table5", "--store", store]) == 0
+        assert "2xB1" in capsys.readouterr().out
+
+    def test_model_flag_creates_distinct_store_entry(self, tmp_path, capsys):
+        """`run --spec table5 --model discrete` must not alias the
+        analytical entry: two store hashes, both individually cached."""
+        from repro.sweep import ResultStore
+
+        store = str(tmp_path / "store")
+        assert sweep_cli(["run", "--spec", "table5", "--quiet",
+                          "--store", store]) == 0
+        capsys.readouterr()
+        assert sweep_cli(["run", "--spec", "table5", "--model", "discrete",
+                          "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "model=discrete" in out and "1 run, 0 cached" in out
+
+        entries = {e.spec_hash: e for e in ResultStore(store).entries()}
+        assert len(entries) == 2
+        analytical = builtin_specs()["table5"]
+        assert analytical.spec_hash() in entries
+        assert analytical.with_model("discrete").spec_hash() in entries
+
+        # The discrete entry re-runs as a pure cache read too.
+        assert sweep_cli(["run", "--spec", "table5", "--model", "discrete",
+                          "--quiet", "--store", store]) == 0
+        assert "0 run, 1 cached" in capsys.readouterr().out
+
+    def test_with_model_changes_hash_and_is_idempotent(self):
+        spec = small_spec()
+        discrete = spec.with_model("discrete")
+        assert discrete.spec_hash() != spec.spec_hash()
+        assert discrete.model == "discrete"
+        assert spec.with_model("analytical") is spec
 
     def test_module_entry_point(self):
         """`python -m repro sweep specs` dispatches through repro.__main__."""
