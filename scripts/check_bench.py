@@ -39,6 +39,7 @@ CHECKS: Tuple[Tuple[str, str], ...] = (
     ("BENCH_engine.json", "speedup"),
     ("BENCH_sweep.json", "cache_hit_speedup"),
     ("BENCH_dkibam.json", "speedup"),
+    ("BENCH_optimal.json", "speedup"),
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]

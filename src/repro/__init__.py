@@ -66,9 +66,11 @@ from repro.core import (
     simulate_policy,
 )
 from repro.engine import (
+    BatchOptimalScheduler,
     BatchResult,
     BatchSimulator,
     ScenarioSet,
+    find_optimal_schedule_batched,
 )
 from repro.sweep import (
     BatteryConfig,
@@ -81,7 +83,7 @@ from repro.sweep import (
 )
 from repro.analysis.montecarlo import run_montecarlo
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "B1",
@@ -109,8 +111,10 @@ __all__ = [
     "SequentialPolicy",
     "SimulationResult",
     "find_optimal_schedule",
+    "find_optimal_schedule_batched",
     "make_policy",
     "simulate_policy",
+    "BatchOptimalScheduler",
     "BatchResult",
     "BatchSimulator",
     "ScenarioSet",

@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.optimal import find_optimal_schedule
 from repro.core.simulator import simulate_policy
 from repro.engine.batch import VECTOR_MODELS, BatchSimulator, resolve_model
+from repro.engine.optimal_batch import optimal_schedules_batch
 from repro.engine.parallel import (
     optimal_lifetimes_chunk,
     run_chunked,
@@ -39,6 +40,7 @@ from repro.engine.parallel import (
 from repro.engine.policies import VectorPolicy, has_vector_policy
 from repro.engine.scenarios import ScenarioSet
 from repro.kibam.parameters import BatteryParameters
+from repro.sweep.spec import OPTIMAL_POLICY
 from repro.workloads.generator import ILS_LIKE_RANDOM_CONFIG, RandomLoadConfig
 from repro.workloads.load import Load
 
@@ -145,10 +147,13 @@ def run_montecarlo(
     Args:
         params: battery parameter sets, one per battery.
         n_samples: number of random loads to draw.
-        policies: deterministic policies to evaluate on every sample.
-        include_optimal: also run the optimal scheduler on every sample
-            (with a node cap and state-merge tolerance so the sweep stays
-            bounded; the resulting column is labelled ``"optimal"``).
+        policies: policies to evaluate on every sample.  The pseudo-policy
+            ``"optimal"`` is a first-class column: it runs one branch-and-
+            bound search per sample (batched through the engine kernels on
+            the vectorizable battery models, scalar otherwise) with the
+            ``optimal_max_nodes`` cap and the sweep state-merge tolerance.
+        include_optimal: legacy spelling of appending ``"optimal"`` to
+            ``policies``; the resulting column is labelled ``"optimal"``.
         config: random-load configuration; the default produces ILs-like
             loads with mixed currents.
         seed: base seed; sample ``i`` uses ``seed + i`` (ignored when
@@ -180,8 +185,10 @@ def run_montecarlo(
             re-simulation, and an interrupted sweep resumes chunk by chunk.
             The store is keyed by spec content, so scalar re-verification
             runs (``engine="scalar"``), explicit ``rng`` streams and
-            non-string policy objects bypass it; the optimal-scheduler
-            column is always computed fresh.
+            non-string policy objects bypass it.  The optimal column is
+            stored too (its node cap and merge tolerance are part of the
+            spec hash), except on multiprocessing runs (``n_workers > 1``),
+            which keep the scalar worker path and bypass the store.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known engines: {ENGINES}")
@@ -208,15 +215,37 @@ def run_montecarlo(
         raise ValueError("n_samples must be at least 1")
 
     # Policies may be registry names or policy objects (vector or scalar);
-    # the result columns are always keyed by the policy's name.
+    # the result columns are always keyed by the policy's name.  The
+    # pseudo-policy "optimal" is split off: it is one branch-and-bound
+    # search per sample, not a policy simulation.
     names = [policy if isinstance(policy, str) else policy.name for policy in policies]
     if len(set(names)) != len(names):
         raise ValueError(f"policy names must be unique, got {names}")
+    for policy in policies:
+        if not isinstance(policy, str) and policy.name == OPTIMAL_POLICY:
+            raise ValueError(
+                "the 'optimal' column is computed by the branch-and-bound "
+                "search, so a policy *object* named 'optimal' would be "
+                "silently shadowed; rename the policy or pass the string "
+                "'optimal' to request the search column"
+            )
+    if include_optimal and OPTIMAL_POLICY not in names:
+        names = names + [OPTIMAL_POLICY]
+    optimal_requested = OPTIMAL_POLICY in names
+    sim_pairs = [
+        (name, policy)
+        for name, policy in zip(
+            [p if isinstance(p, str) else p.name for p in policies], policies
+        )
+        if name != OPTIMAL_POLICY
+    ]
+    sim_names = [name for name, _ in sim_pairs]
+    sim_policies = [policy for _, policy in sim_pairs]
 
     vectorizable = backend in VECTOR_MODELS and all(
         isinstance(policy, VectorPolicy)
         or (isinstance(policy, str) and has_vector_policy(policy))
-        for policy in policies
+        for policy in sim_policies
     )
     if engine == "auto":
         engine = "batch" if vectorizable else "scalar"
@@ -232,14 +261,16 @@ def run_montecarlo(
         and vectorizable
         and rng is None
         and all(isinstance(policy, str) for policy in policies)
+        and not (optimal_requested and n_workers > 1)
     )
 
     per_sample: Dict[str, List[float]] = {}
     if use_store:
-        # Route the deterministic-policy sweep through the content-addressed
-        # sweep store: the spec below reproduces this call's samples exactly
-        # (seeded sampling draws load i with seed + i on both paths), so a
-        # repeated distribution with the same seed/spec is a cache hit.
+        # Route the whole sweep -- deterministic policies and the optimal
+        # column alike -- through the content-addressed sweep store: the
+        # spec below reproduces this call's samples exactly (seeded sampling
+        # draws load i with seed + i on both paths), so a repeated
+        # distribution with the same seed/spec is a cache hit.
         from repro.sweep import (
             BatteryConfig,
             LoadAxis,
@@ -259,66 +290,86 @@ def run_montecarlo(
             policies=tuple(names),
             backend=backend,
         )
+        if optimal_requested:
+            spec = spec.with_optimal(max_nodes=optimal_max_nodes)
         sweep_result = SweepRunner(ResultStore(cache_dir)).run(spec)
         for name in names:
             per_sample[name] = _require_lifetimes(
                 sweep_result.per_sample[name], name
             )
-    elif engine == "batch":
-        simulator = BatchSimulator(params, backend=backend)
-        results = simulator.run_many(get_scenarios(), list(policies))
-        for name in names:
-            per_sample[name] = _require_lifetimes(
-                results[name].lifetimes.tolist(), name
-            )
     else:
-        for name, policy in zip(names, policies):
-            if isinstance(policy, VectorPolicy):
-                raise ValueError(
-                    f"the scalar engine cannot run vector policy {name!r}; "
-                    "pass its registry name or a SchedulingPolicy instead"
+        if engine == "batch" and sim_names:
+            simulator = BatchSimulator(params, backend=backend)
+            results = simulator.run_many(get_scenarios(), list(sim_policies))
+            for name in sim_names:
+                per_sample[name] = _require_lifetimes(
+                    results[name].lifetimes.tolist(), name
                 )
-            if n_workers > 1 and isinstance(policy, str):
+        else:
+            for name, policy in sim_pairs:
+                if isinstance(policy, VectorPolicy):
+                    raise ValueError(
+                        f"the scalar engine cannot run vector policy {name!r}; "
+                        "pass its registry name or a SchedulingPolicy instead"
+                    )
+                if n_workers > 1 and isinstance(policy, str):
+                    worker = functools.partial(
+                        simulate_lifetimes_chunk,
+                        params=tuple(params),
+                        policy_name=policy,
+                        backend=backend,
+                    )
+                    lifetimes = run_chunked(
+                        worker, get_scenarios().loads, n_workers=n_workers
+                    )
+                else:
+                    # Policy objects are not safely picklable (state, custom
+                    # classes), so they always run inline.
+                    lifetimes = [
+                        simulate_policy(params, load, policy, backend=backend).lifetime
+                        for load in get_scenarios().loads
+                    ]
+                per_sample[name] = _require_lifetimes(lifetimes, name)
+
+        if optimal_requested:
+            if n_workers > 1:
                 worker = functools.partial(
-                    simulate_lifetimes_chunk,
+                    optimal_lifetimes_chunk,
                     params=tuple(params),
-                    policy_name=policy,
                     backend=backend,
+                    max_nodes=optimal_max_nodes,
                 )
-                lifetimes = run_chunked(
+                optima = run_chunked(
                     worker, get_scenarios().loads, n_workers=n_workers
                 )
+            elif executed_engine == "batch":
+                # One batched branch-and-bound search per sample, through
+                # the same engine kernels as the policy sweep.
+                optima = [
+                    result.lifetime
+                    for result in optimal_schedules_batch(
+                        get_scenarios().loads,
+                        params,
+                        model=backend,
+                        max_nodes=optimal_max_nodes,
+                    )
+                ]
             else:
-                # Policy objects are not safely picklable (state, custom
-                # classes), so they always run inline.
-                lifetimes = [
-                    simulate_policy(params, load, policy, backend=backend).lifetime
+                optima = [
+                    find_optimal_schedule(
+                        params,
+                        load,
+                        backend=backend,
+                        dominance_tolerance=0.005,
+                        max_nodes=optimal_max_nodes,
+                    ).lifetime
                     for load in get_scenarios().loads
                 ]
-            per_sample[name] = _require_lifetimes(lifetimes, name)
+            per_sample[OPTIMAL_POLICY] = _require_lifetimes(optima, OPTIMAL_POLICY)
 
-    if include_optimal:
-        if n_workers > 1:
-            worker = functools.partial(
-                optimal_lifetimes_chunk,
-                params=tuple(params),
-                backend=backend,
-                max_nodes=optimal_max_nodes,
-            )
-            optima = run_chunked(worker, get_scenarios().loads, n_workers=n_workers)
-        else:
-            optima = [
-                find_optimal_schedule(
-                    params,
-                    load,
-                    backend=backend,
-                    dominance_tolerance=0.005,
-                    max_nodes=optimal_max_nodes,
-                ).lifetime
-                for load in get_scenarios().loads
-            ]
-        per_sample["optimal"] = _require_lifetimes(optima, "optimal")
-
+    # Column order follows the request order (optimal included wherever the
+    # caller listed it; legacy include_optimal appends it last).
+    per_sample = {name: per_sample[name] for name in names}
     distributions = {
         policy: LifetimeDistribution.from_samples(policy, lifetimes)
         for policy, lifetimes in per_sample.items()

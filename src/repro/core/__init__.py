@@ -37,7 +37,12 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.simulator import MultiBatterySimulator, simulate_policy
-from repro.core.optimal import OptimalScheduleResult, OptimalScheduler, find_optimal_schedule
+from repro.core.optimal import (
+    DominanceArchive,
+    OptimalScheduleResult,
+    OptimalScheduler,
+    find_optimal_schedule,
+)
 from repro.core.job_scheduling import (
     Job,
     JobTimeline,
@@ -71,6 +76,7 @@ __all__ = [
     "make_policy",
     "MultiBatterySimulator",
     "simulate_policy",
+    "DominanceArchive",
     "OptimalScheduleResult",
     "OptimalScheduler",
     "find_optimal_schedule",

@@ -55,6 +55,10 @@ class OptimalScheduleResult:
         backend: battery model backend used ("analytical" or "discrete").
         incumbent_policy: name of the heuristic policy that provided the
             initial incumbent solution.
+        final_states: per-battery model states at the end of the winning
+            schedule (from replaying the best assignment).
+        residual_charge: total charge (Amin) left across the batteries at
+            the end of the winning schedule.
     """
 
     lifetime: float
@@ -64,16 +68,131 @@ class OptimalScheduleResult:
     complete: bool
     backend: str
     incumbent_policy: str
+    final_states: Tuple[Any, ...] = ()
+    residual_charge: float = float("nan")
 
     def as_simulation_result(self) -> SimulationResult:
         """The optimal schedule re-expressed as a simulation result."""
         return SimulationResult(
             lifetime=self.lifetime,
             schedule=self.schedule,
-            final_states=(),
-            residual_charge=float("nan"),
+            final_states=self.final_states,
+            residual_charge=self.residual_charge,
             decisions=len(self.assignment),
         )
+
+
+class DominanceArchive:
+    """Per-decision-point dominance pruning shared by both optimal searches.
+
+    Two mechanisms prune revisits of a decision point:
+
+    * an O(1) duplicate check on the quantized (and, for identical
+      batteries, permutation-canonical) state signature -- this catches
+      the bulk of the revisits on regular loads, where different
+      assignment orders produce (nearly) identical battery states;
+    * a small Pareto archive of previously admitted states, checked for
+      componentwise dominance.
+
+    A *state matrix* is one dominance vector per battery (see
+    :meth:`repro.core.battery.BatteryModel.dominance_vector`); larger
+    components mean a strictly better battery state, so a componentwise
+    larger matrix can achieve (or better) every schedule of a smaller one.
+    """
+
+    def __init__(
+        self,
+        symmetric: bool,
+        dominance_tolerance: float = 0.0,
+        archive_limit: int = 64,
+    ) -> None:
+        self.symmetric = symmetric
+        self.dominance_tolerance = dominance_tolerance
+        self.archive_limit = archive_limit
+        self._archives: dict = {}
+
+    def _vector_dominates(self, a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
+        slack = _DOMINANCE_EPSILON + self.dominance_tolerance
+        return all(x >= y - slack for x, y in zip(a, b))
+
+    def _matrix_dominates(
+        self,
+        a: Tuple[Tuple[float, ...], ...],
+        b: Tuple[Tuple[float, ...], ...],
+    ) -> bool:
+        """Whether battery-state matrix ``a`` dominates ``b``.
+
+        With identical batteries any pairing of ``a``'s batteries against
+        ``b``'s is allowed; for small battery counts all permutations are
+        checked, otherwise only the identity pairing.
+        """
+        n = len(a)
+        if self.symmetric and n <= 3:
+            for permutation in itertools.permutations(range(n)):
+                if all(self._vector_dominates(a[permutation[i]], b[i]) for i in range(n)):
+                    return True
+            return False
+        return all(self._vector_dominates(a[i], b[i]) for i in range(n))
+
+    def _canonical_signature(
+        self, matrix: Tuple[Tuple[float, ...], ...]
+    ) -> Tuple[Tuple[float, ...], ...]:
+        """Quantized, permutation-canonical form of a dominance matrix."""
+        scale = max(self.dominance_tolerance, 1e-9)
+        quantized = tuple(
+            tuple(round(value / scale) if value not in (float("inf"), float("-inf")) else value for value in vector)
+            for vector in matrix
+        )
+        if self.symmetric:
+            return tuple(sorted(quantized))
+        return quantized
+
+    def admit(self, key, matrix: Tuple[Tuple[float, ...], ...]) -> bool:
+        """Record a state matrix at a decision point; False when dominated."""
+        seen, archive = self._archives.setdefault(key, (set(), []))
+        signature = self._canonical_signature(matrix)
+        if signature in seen:
+            return False
+        for existing in archive:
+            if self._matrix_dominates(existing, matrix):
+                return False
+        # Drop archived entries that the new state dominates, to keep the
+        # archive small and the checks cheap.
+        archive[:] = [
+            existing for existing in archive if not self._matrix_dominates(matrix, existing)
+        ]
+        if len(archive) < self.archive_limit:
+            archive.append(matrix)
+        seen.add(signature)
+        return True
+
+
+def discrete_bound_slack_for(time_step: float, charge_unit: float) -> float:
+    """Relative safety margin of the pooling bound for a dKiBaM search.
+
+    The dKiBaM reports lifetimes slightly above the analytical model (up to
+    ~1 % at the paper's reference discretization of ``T = Gamma = 0.01``,
+    Tables 3 and 4), so the analytical perfect-pooling bound is inflated
+    before pruning discrete-backend searches.  The discretization error --
+    and with it the inflation needed to keep the pruning sound -- grows
+    with the tick length and the charge unit, so the margin scales with the
+    coarseness relative to the reference discretization; at the reference
+    itself this is the long-standing 2 %.  Both the scalar and the batched
+    search use this same margin, which is what keeps their results in
+    lockstep on coarse discretizations.
+    """
+    coarseness = max(1.0, time_step / 0.01, charge_unit / 0.01)
+    return 0.02 * coarseness
+
+
+def discrete_bound_slack(model: BatteryModel) -> float:
+    """The pooling-bound safety margin for one battery model (0 unless dKiBaM)."""
+    if model.backend != "discrete":
+        return 0.0
+    kibam = getattr(model, "kibam", None)
+    if kibam is None:
+        return 0.02
+    return discrete_bound_slack_for(kibam.time_step, kibam.charge_unit)
 
 
 class _SearchNode:
@@ -140,16 +259,17 @@ class OptimalScheduler:
         self._epoch_starts = load.epoch_start_times()
         self._symmetric = self._all_batteries_identical()
         self._pooled_params = self._pooling_parameters()
-        # The dKiBaM reports lifetimes slightly above the analytical model
-        # (up to ~1 %, Tables 3 and 4), so the analytical perfect-pooling
-        # bound gets a safety margin when pruning discrete-backend searches.
-        self._bound_slack = 0.02 if self.models[0].backend == "discrete" else 0.0
+        self._bound_slack = discrete_bound_slack(self.models[0])
         # Search state.
         self._best_lifetime = float("-inf")
         self._best_assignment: Tuple[int, ...] = ()
         self._nodes_expanded = 0
         self._complete = True
-        self._archives: dict = {}
+        self._archive = DominanceArchive(
+            symmetric=self._symmetric,
+            dominance_tolerance=dominance_tolerance,
+            archive_limit=archive_limit,
+        )
         self._bound_cache: dict = {}
 
     # ------------------------------------------------------------------ #
@@ -178,17 +298,22 @@ class OptimalScheduler:
         )
         self._explore(root)
 
-        schedule, lifetime = self._replay(self._best_assignment)
+        replay = self._replay(self._best_assignment)
+        lifetime = (
+            replay.lifetime if replay.lifetime is not None else self.load.total_duration
+        )
         # Replaying can only agree with (or, for incumbent fallbacks, refine)
         # the recorded value; keep the replayed number as the authoritative one.
         return OptimalScheduleResult(
             lifetime=lifetime,
-            schedule=schedule,
+            schedule=replay.schedule,
             assignment=self._best_assignment,
             nodes_expanded=self._nodes_expanded,
             complete=self._complete,
             backend=self.models[0].backend,
             incumbent_policy=incumbent_name,
+            final_states=replay.final_states,
+            residual_charge=replay.residual_charge,
         )
 
     # ------------------------------------------------------------------ #
@@ -280,7 +405,9 @@ class OptimalScheduler:
             return
 
         # Dominance pruning among states reaching the same decision point.
-        if self.use_dominance and not self._admit_to_archive(epoch_index, offset, states):
+        if self.use_dominance and not self._archive.admit(
+            (epoch_index, round(offset, 9)), self._dominance_matrix(states)
+        ):
             return
 
         if self.max_nodes is not None and self._nodes_expanded >= self.max_nodes:
@@ -421,84 +548,13 @@ class OptimalScheduler:
             self.models[i].dominance_vector(states[i]) for i in range(len(self.models))
         )
 
-    def _vector_dominates(self, a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
-        slack = _DOMINANCE_EPSILON + self.dominance_tolerance
-        return all(x >= y - slack for x, y in zip(a, b))
-
-    def _matrix_dominates(
-        self,
-        a: Tuple[Tuple[float, ...], ...],
-        b: Tuple[Tuple[float, ...], ...],
-    ) -> bool:
-        """Whether battery-state matrix ``a`` dominates ``b``.
-
-        With identical batteries any pairing of ``a``'s batteries against
-        ``b``'s is allowed; for small battery counts all permutations are
-        checked, otherwise only the identity pairing.
-        """
-        n = len(a)
-        if self._symmetric and n <= 3:
-            for permutation in itertools.permutations(range(n)):
-                if all(self._vector_dominates(a[permutation[i]], b[i]) for i in range(n)):
-                    return True
-            return False
-        return all(self._vector_dominates(a[i], b[i]) for i in range(n))
-
-    def _canonical_signature(
-        self, matrix: Tuple[Tuple[float, ...], ...]
-    ) -> Tuple[Tuple[float, ...], ...]:
-        """Quantized, permutation-canonical form of a dominance matrix."""
-        scale = max(self.dominance_tolerance, 1e-9)
-        quantized = tuple(
-            tuple(round(value / scale) if value not in (float("inf"), float("-inf")) else value for value in vector)
-            for vector in matrix
-        )
-        if self._symmetric:
-            return tuple(sorted(quantized))
-        return quantized
-
-    def _admit_to_archive(
-        self, epoch_index: int, offset: float, states: Sequence[Any]
-    ) -> bool:
-        """Record the state at a decision point; return False when dominated.
-
-        Two mechanisms prune revisits of a decision point:
-
-        * an O(1) duplicate check on the quantized (and, for identical
-          batteries, permutation-canonical) state signature -- this catches
-          the bulk of the revisits on regular loads, where different
-          assignment orders produce (nearly) identical battery states;
-        * a small Pareto archive of previously admitted states, checked for
-          componentwise dominance.
-        """
-        key = (epoch_index, round(offset, 9))
-        matrix = self._dominance_matrix(states)
-        signature = self._canonical_signature(matrix)
-        seen, archive = self._archives.setdefault(key, (set(), []))
-        if signature in seen:
-            return False
-        for existing in archive:
-            if self._matrix_dominates(existing, matrix):
-                return False
-        # Drop archived entries that the new state dominates, to keep the
-        # archive small and the checks cheap.
-        archive[:] = [
-            existing for existing in archive if not self._matrix_dominates(matrix, existing)
-        ]
-        if len(archive) < self.archive_limit:
-            archive.append(matrix)
-        seen.add(signature)
-        return True
-
     # ------------------------------------------------------------------ #
     # schedule reconstruction
     # ------------------------------------------------------------------ #
-    def _replay(self, assignment: Sequence[int]) -> Tuple[Schedule, float]:
+    def _replay(self, assignment: Sequence[int]) -> SimulationResult:
         """Replay an assignment through the simulator to obtain a schedule."""
         simulator = MultiBatterySimulator(self.models)
-        result = simulator.run(self.load, FixedAssignmentPolicy(assignment))
-        lifetime = result.lifetime if result.lifetime is not None else self.load.total_duration
-        return result.schedule, lifetime
+        return simulator.run(self.load, FixedAssignmentPolicy(assignment))
 
 
 def find_optimal_schedule(

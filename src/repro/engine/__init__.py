@@ -15,15 +15,27 @@ thousands of scenarios per NumPy call:
 * :mod:`repro.engine.batch` -- :class:`BatchSimulator`, the lock-step event
   loop with masking of dead scenarios and a scalar fallback for
   non-vectorizable policies/backends,
+* :mod:`repro.engine.optimal_batch` -- :class:`BatchOptimalScheduler`, the
+  best-first branch-and-bound whose frontier bounds and between-decision
+  battery advances run as batched kernels (Section 4's optimal schedules at
+  engine speed, with exact parity against the scalar search),
 * :mod:`repro.engine.parallel` -- a chunked ``multiprocessing`` executor for
-  the workloads that scale across cores instead of array lanes (dKiBaM,
-  optimal search).
+  the workloads that scale across cores instead of array lanes (scalar
+  golden-reference sweeps, scalar optimal-search verification).
 
 The scalar simulator remains the golden reference; the test suite pins the
 two paths to within 1e-9 minutes on random loads.
 """
 
 from repro.engine.batch import VECTOR_MODELS, BatchResult, BatchSimulator
+from repro.engine.optimal_batch import (
+    BATCH_OPTIMAL_MODELS,
+    BatchOptimalScheduler,
+    VectorDominanceArchive,
+    discrete_segment_array,
+    find_optimal_schedule_batched,
+    optimal_schedules_batch,
+)
 from repro.engine.kernels import (
     DiscreteKernelParams,
     KernelParams,
@@ -38,6 +50,7 @@ from repro.engine.parallel import (
     ChunkedExecutor,
     default_worker_count,
     optimal_lifetimes_chunk,
+    optimal_schedules_chunk,
     run_chunked,
     simulate_lifetimes_chunk,
 )
@@ -56,7 +69,9 @@ from repro.engine.policies import (
 from repro.engine.scenarios import DiscreteScenarioArrays, ScenarioSet
 
 __all__ = [
+    "BATCH_OPTIMAL_MODELS",
     "BatchDecisionContext",
+    "BatchOptimalScheduler",
     "BatchResult",
     "BatchSimulator",
     "ChunkedExecutor",
@@ -70,15 +85,20 @@ __all__ = [
     "VectorPolicy",
     "VectorPolicyStack",
     "VectorRoundRobinPolicy",
+    "VectorDominanceArchive",
     "VectorSequentialPolicy",
     "VectorWorstOfTwoPolicy",
     "available_charge_array",
     "default_worker_count",
+    "discrete_segment_array",
     "empty_margin_array",
+    "find_optimal_schedule_batched",
     "has_vector_policy",
     "initial_state_array",
     "make_vector_policy",
     "optimal_lifetimes_chunk",
+    "optimal_schedules_batch",
+    "optimal_schedules_chunk",
     "run_chunked",
     "simulate_lifetimes_chunk",
     "step_constant_current_array",

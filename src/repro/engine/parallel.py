@@ -138,6 +138,40 @@ def simulate_lifetimes_chunk(
     return [simulator.run(load, policy).lifetime for load in loads]
 
 
+def optimal_schedules_chunk(
+    loads: Sequence[Load],
+    params: Sequence[BatteryParameters],
+    backend: str = "analytical",
+    max_nodes: Optional[int] = 20_000,
+    dominance_tolerance: float = 0.005,
+    time_step: float = 0.01,
+    charge_unit: float = 0.01,
+):
+    """Worker: full scalar optimal-search results for a chunk of loads.
+
+    The scalar depth-first search doubles as the fallback for batched
+    best-first searches that hit their node cap (depth-first drives its
+    incumbent much deeper under the same budget), so the full
+    :class:`repro.core.optimal.OptimalScheduleResult` objects are returned
+    -- a caller replacing a capped result must replace its lifetime,
+    decision count and residual charge *together*.
+    """
+    from repro.core.optimal import find_optimal_schedule
+
+    return [
+        find_optimal_schedule(
+            params,
+            load,
+            backend=backend,
+            time_step=time_step,
+            charge_unit=charge_unit,
+            dominance_tolerance=dominance_tolerance,
+            max_nodes=max_nodes,
+        )
+        for load in loads
+    ]
+
+
 def optimal_lifetimes_chunk(
     loads: Sequence[Load],
     params: Sequence[BatteryParameters],
@@ -146,15 +180,13 @@ def optimal_lifetimes_chunk(
     dominance_tolerance: float = 0.005,
 ) -> List[float]:
     """Worker: optimal-scheduler lifetimes for a chunk of loads."""
-    from repro.core.optimal import find_optimal_schedule
-
     return [
-        find_optimal_schedule(
+        result.lifetime
+        for result in optimal_schedules_chunk(
+            loads,
             params,
-            load,
             backend=backend,
-            dominance_tolerance=dominance_tolerance,
             max_nodes=max_nodes,
-        ).lifetime
-        for load in loads
+            dominance_tolerance=dominance_tolerance,
+        )
     ]

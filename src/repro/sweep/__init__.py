@@ -23,6 +23,7 @@ missing part of it, and never compute the same thing twice":
 from repro.sweep.builtin import builtin_specs
 from repro.sweep.runner import SweepResult, SweepRunner, SweepStats, SweepTableRow
 from repro.sweep.spec import (
+    OPTIMAL_POLICY,
     BatteryConfig,
     LoadAxis,
     ScenarioPoint,
@@ -34,6 +35,7 @@ from repro.sweep.store import ResultStore, StoreEntry
 __all__ = [
     "BatteryConfig",
     "LoadAxis",
+    "OPTIMAL_POLICY",
     "ResultStore",
     "ScenarioPoint",
     "StoreEntry",

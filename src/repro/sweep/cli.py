@@ -5,6 +5,7 @@ Exposed through ``python -m repro``::
     python -m repro sweep specs                      # list built-in campaigns
     python -m repro sweep run --spec table5          # run (resume) a campaign
     python -m repro sweep run --spec table5 --model discrete   # dKiBaM column
+    python -m repro sweep run --spec table5 --optimal          # + optimal column
     python -m repro sweep run --spec-file my.json    # run a custom spec
     python -m repro sweep status                     # what is in the store
     python -m repro sweep show --spec table5         # aggregate stored results
@@ -24,7 +25,11 @@ from typing import List, Optional
 
 from repro.sweep.builtin import builtin_specs
 from repro.sweep.runner import SweepRunner
-from repro.sweep.spec import SweepSpec
+from repro.sweep.spec import (
+    DEFAULT_OPTIMAL_MAX_NODES,
+    DEFAULT_OPTIMAL_TOLERANCE,
+    SweepSpec,
+)
 from repro.sweep.store import ResultStore
 
 #: Default on-disk location of the result store, relative to the CWD.
@@ -74,6 +79,38 @@ def _load_spec(args: argparse.Namespace) -> SweepSpec:
         spec = SweepSpec.from_dict({**spec.to_dict(), "chunk_size": args.chunk_size})
     if getattr(args, "model", None) is not None:
         spec = spec.with_model(args.model)
+    max_nodes = getattr(args, "optimal_max_nodes", None)
+    tolerance = getattr(args, "dominance_tolerance", None)
+    if max_nodes is not None and max_nodes < 1:
+        raise _usage_error(
+            f"--optimal-max-nodes must be at least 1, got {max_nodes}"
+        )
+    if tolerance is not None and tolerance < 0.0:
+        raise _usage_error(
+            f"--dominance-tolerance must be non-negative, got {tolerance}"
+        )
+    if getattr(args, "optimal", False):
+        spec = spec.with_optimal(
+            max_nodes=max_nodes
+            if max_nodes is not None
+            else DEFAULT_OPTIMAL_MAX_NODES,
+            dominance_tolerance=tolerance
+            if tolerance is not None
+            else DEFAULT_OPTIMAL_TOLERANCE,
+        )
+    elif (max_nodes is not None or tolerance is not None) and not spec.has_optimal:
+        raise _usage_error(
+            "--optimal-max-nodes/--dominance-tolerance only apply to the "
+            "optimal-schedule column; pass --optimal (or a spec whose "
+            "policies include 'optimal')"
+        )
+    elif spec.has_optimal and (max_nodes is not None or tolerance is not None):
+        spec = spec.with_optimal(
+            max_nodes=max_nodes if max_nodes is not None else spec.optimal_max_nodes,
+            dominance_tolerance=tolerance
+            if tolerance is not None
+            else spec.optimal_dominance_tolerance,
+        )
     return spec
 
 
@@ -183,6 +220,25 @@ def build_parser() -> argparse.ArgumentParser:
             choices=MODEL_CHOICES,
             help="override the spec's battery model (enters the content "
             "hash, so analytical and discrete results never alias)",
+        )
+        p.add_argument(
+            "--optimal",
+            action="store_true",
+            help="append the optimal-schedule column (batched branch-and-"
+            "bound per scenario; its settings enter the content hash)",
+        )
+        p.add_argument(
+            "--optimal-max-nodes",
+            type=int,
+            help="node cap per optimal search (default "
+            f"{DEFAULT_OPTIMAL_MAX_NODES}; capped searches are flagged "
+            "complete=False and rendered with a '!' annotation)",
+        )
+        p.add_argument(
+            "--dominance-tolerance",
+            type=float,
+            help="state-merge tolerance in Amin for the optimal search "
+            f"(default {DEFAULT_OPTIMAL_TOLERANCE}; 0 certifies optimality)",
         )
 
     specs_parser = sub.add_parser("specs", help="list built-in sweep specs")

@@ -13,6 +13,12 @@ persisted into the content-addressed
 instead of recomputed, which makes re-runs cache hits and interrupted
 sweeps resume from the last completed chunk.
 
+The pseudo-policy ``"optimal"`` (see :meth:`SweepSpec.with_optimal`) is a
+first-class column: each scenario runs one batched branch-and-bound search
+(:mod:`repro.engine.optimal_batch`), per-scenario ``complete`` masks are
+stored alongside the lifetimes, and searches that hit the node cap fall
+back to the scalar depth-first worker for a better certified lower bound.
+
 The aggregated :class:`SweepResult` keeps the raw per-scenario arrays and
 offers the ``analysis``-layer views: grouped rows (battery configuration x
 load group, one mean lifetime column per policy) and full
@@ -28,7 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.batch import BatchSimulator
-from repro.sweep.spec import ScenarioPoint, SweepSpec
+from repro.sweep.spec import OPTIMAL_POLICY, ScenarioPoint, SweepSpec
 from repro.sweep.store import ResultStore
 from repro.engine.scenarios import ScenarioSet
 
@@ -62,6 +68,7 @@ class SweepTableRow:
     n_samples: int
     mean_lifetimes: Dict[str, float]
     survived: Dict[str, int]
+    incomplete: Dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 class SweepResult:
@@ -83,6 +90,7 @@ class SweepResult:
         decisions: Dict[str, np.ndarray],
         residual_charge: Dict[str, np.ndarray],
         stats: SweepStats,
+        complete: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         self.spec = spec
         self.points = list(points)
@@ -90,6 +98,16 @@ class SweepResult:
         self.decisions = decisions
         self.residual_charge = residual_charge
         self.stats = stats
+        #: Per-policy search-completeness masks; only the ``optimal`` column
+        #: carries one (False where the branch-and-bound hit ``max_nodes``
+        #: and its lifetime is a certified lower bound, not the optimum).
+        self.complete = complete or {}
+
+    def incomplete_counts(self) -> Dict[str, int]:
+        """Number of non-certified (capped) searches per policy column."""
+        return {
+            policy: int((~mask).sum()) for policy, mask in self.complete.items()
+        }
 
     @property
     def per_sample(self) -> Dict[str, List[float]]:
@@ -118,11 +136,14 @@ class SweepResult:
             idx = np.asarray(indices)
             means: Dict[str, float] = {}
             survived: Dict[str, int] = {}
+            incomplete: Dict[str, int] = {}
             for policy in self.spec.policies:
                 values = self.lifetimes[policy][idx]
                 finite = values[~np.isnan(values)]
                 means[policy] = float(finite.mean()) if finite.size else float("nan")
                 survived[policy] = int(np.isnan(values).sum())
+                if policy in self.complete:
+                    incomplete[policy] = int((~self.complete[policy][idx]).sum())
             rows.append(
                 SweepTableRow(
                     battery_label=battery_label,
@@ -130,6 +151,7 @@ class SweepResult:
                     n_samples=len(indices),
                     mean_lifetimes=means,
                     survived=survived,
+                    incomplete=incomplete,
                 )
             )
         return rows
@@ -166,11 +188,13 @@ class SweepResult:
             + "  ".join(f"{policy:>12s}" for policy in self.spec.policies)
         )
         lines = [header, "-" * len(header)]
+        any_incomplete = False
         for row in rows:
             cells = []
             for policy in self.spec.policies:
                 mean = row.mean_lifetimes[policy]
                 survivors = row.survived[policy]
+                capped = row.incomplete.get(policy, 0)
                 if survivors == row.n_samples:
                     # No lifetime was measured at all for this cell.
                     cells.append(f"{'survived':>12s}")
@@ -178,12 +202,22 @@ class SweepResult:
                     # Mean over the finite samples, survivors annotated,
                     # padded to the common 12-character column.
                     cells.append(f"{mean:.2f} +{survivors}s".rjust(12))
+                elif capped:
+                    # Some searches hit max_nodes: the mean mixes certified
+                    # optima with lower bounds.
+                    any_incomplete = True
+                    cells.append(f"{mean:.2f} !{capped}".rjust(12))
                 else:
                     cells.append(f"{mean:12.2f}")
             lines.append(
                 f"{row.battery_label:{battery_width}s}  "
                 f"{row.load_label:{load_width}s}  {row.n_samples:5d}  "
                 + "  ".join(cells)
+            )
+        if any_incomplete:
+            lines.append(
+                "!N = N searches hit max_nodes (complete=False): those "
+                "lifetimes are certified lower bounds, not proven optima"
             )
         return "\n".join(lines)
 
@@ -238,6 +272,11 @@ class SweepRunner:
             policy: np.zeros(len(points), dtype=np.int64) for policy in spec.policies
         }
         residual = {policy: np.zeros(len(points)) for policy in spec.policies}
+        complete = (
+            {OPTIMAL_POLICY: np.ones(len(points), dtype=bool)}
+            if spec.has_optimal
+            else {}
+        )
 
         for chunk_index, (start, stop) in enumerate(bounds):
             cached = (
@@ -276,6 +315,8 @@ class SweepRunner:
                 lifetimes[policy][start:stop] = fields["lifetimes"]
                 decisions[policy][start:stop] = fields["decisions"]
                 residual[policy][start:stop] = fields["residual_charge"]
+                if policy in complete and "complete" in fields:
+                    complete[policy][start:stop] = fields["complete"].astype(bool)
 
         stats.total_seconds = time.perf_counter() - started
         return SweepResult(
@@ -285,6 +326,7 @@ class SweepRunner:
             decisions=decisions,
             residual_charge=residual,
             stats=stats,
+            complete=complete,
         )
 
     def load(self, spec: SweepSpec) -> SweepResult:
@@ -327,12 +369,59 @@ class SweepRunner:
             simulator = BatchSimulator(rows[0], backend=spec.backend)
         else:
             simulator = BatchSimulator(rows, backend=spec.backend)
-        results = simulator.run_many(scenario_set, list(spec.policies))
-        return {
-            policy: {
-                "lifetimes": results[policy].lifetimes,
-                "decisions": results[policy].decisions,
-                "residual_charge": results[policy].residual_charge,
+        sim_policies = [p for p in spec.policies if p != OPTIMAL_POLICY]
+        out: Dict[str, Dict[str, np.ndarray]] = {}
+        if sim_policies:
+            results = simulator.run_many(scenario_set, sim_policies)
+            out = {
+                policy: {
+                    "lifetimes": results[policy].lifetimes,
+                    "decisions": results[policy].decisions,
+                    "residual_charge": results[policy].residual_charge,
+                }
+                for policy in sim_policies
             }
-            for policy in spec.policies
+        if spec.has_optimal:
+            out[OPTIMAL_POLICY] = self._run_optimal_column(spec, points)
+        return {policy: out[policy] for policy in spec.policies}
+
+    def _run_optimal_column(
+        self, spec: SweepSpec, points: Sequence[ScenarioPoint]
+    ) -> Dict[str, np.ndarray]:
+        """Batched branch-and-bound per scenario, scalar-verified when capped.
+
+        Every scenario runs one :class:`repro.engine.optimal_batch.
+        BatchOptimalScheduler` search.  The rare search that hits
+        ``max_nodes`` only certifies a lower bound; `optimal_schedules_batch`
+        re-drives those scenarios through the scalar depth-first worker
+        (:func:`repro.engine.parallel.optimal_schedules_chunk`, whose
+        incumbent goes deeper under the same node budget) and keeps the
+        better *whole* result -- lifetime, decision count and residual
+        charge stay mutually consistent -- upgrading to ``complete=True``
+        when the scalar search finishes within the budget.
+        """
+        from repro.engine.optimal_batch import optimal_schedules_batch
+
+        n = len(points)
+        lifetimes = np.full(n, np.nan)
+        decisions = np.zeros(n, dtype=np.int64)
+        residual = np.zeros(n)
+        complete = np.ones(n, dtype=bool)
+        for index, point in enumerate(points):
+            result = optimal_schedules_batch(
+                [point.load],
+                point.battery_params,
+                model=spec.backend,
+                max_nodes=spec.optimal_max_nodes,
+                dominance_tolerance=spec.optimal_dominance_tolerance,
+            )[0]
+            lifetimes[index] = result.lifetime
+            decisions[index] = len(result.assignment)
+            residual[index] = result.residual_charge
+            complete[index] = result.complete
+        return {
+            "lifetimes": lifetimes,
+            "decisions": decisions,
+            "residual_charge": residual,
+            "complete": complete,
         }

@@ -43,6 +43,17 @@ SCHEMA_VERSION = 1
 #: Default number of scenarios per stored chunk.
 DEFAULT_CHUNK_SIZE = 256
 
+#: The pseudo-policy name that requests the optimal-schedule column.
+OPTIMAL_POLICY = "optimal"
+
+#: Default node cap for optimal columns (the Monte-Carlo sweep's
+#: long-standing bound; keeps arbitrary random loads tractable).
+DEFAULT_OPTIMAL_MAX_NODES = 20_000
+
+#: Default state-merge tolerance for optimal columns (half a dKiBaM charge
+#: unit; does not change any reported digit on the paper loads).
+DEFAULT_OPTIMAL_TOLERANCE = 0.005
+
 
 # --------------------------------------------------------------------- #
 # battery axis
@@ -329,10 +340,22 @@ class SweepSpec:
     backend: str = "analytical"
     chunk_size: int = DEFAULT_CHUNK_SIZE
     description: str = ""
+    optimal_max_nodes: Optional[int] = DEFAULT_OPTIMAL_MAX_NODES
+    optimal_dominance_tolerance: float = DEFAULT_OPTIMAL_TOLERANCE
 
     def __post_init__(self) -> None:
         if not self.batteries:
             raise ValueError("a sweep needs at least one battery configuration")
+        if self.optimal_max_nodes is not None and self.optimal_max_nodes < 1:
+            raise ValueError(
+                f"optimal_max_nodes must be at least 1 (or None for an "
+                f"uncapped search), got {self.optimal_max_nodes}"
+            )
+        if self.optimal_dominance_tolerance < 0.0:
+            raise ValueError(
+                "optimal_dominance_tolerance must be non-negative, got "
+                f"{self.optimal_dominance_tolerance}"
+            )
         widths = {len(config.params) for config in self.batteries}
         if len(widths) != 1:
             # The engine batches scenarios over a common battery axis, so a
@@ -369,9 +392,40 @@ class SweepSpec:
             return self
         return dataclasses.replace(self, backend=model)
 
+    # -- the optimal-schedule column ------------------------------------ #
+    @property
+    def has_optimal(self) -> bool:
+        """Whether this campaign includes the optimal-schedule column."""
+        return OPTIMAL_POLICY in self.policies
+
+    def with_optimal(
+        self,
+        max_nodes: Optional[int] = DEFAULT_OPTIMAL_MAX_NODES,
+        dominance_tolerance: float = DEFAULT_OPTIMAL_TOLERANCE,
+    ) -> "SweepSpec":
+        """This campaign with an ``optimal`` column appended.
+
+        The optimal column is computed by the batched branch-and-bound
+        search (one search per scenario) rather than by a policy
+        simulation; ``max_nodes`` and ``dominance_tolerance`` bound each
+        search and -- because they change the computed numbers whenever a
+        search hits them -- are part of the content hash of any spec that
+        carries the column.  Specs without an optimal column hash exactly
+        as before, so existing stores are not orphaned.
+        """
+        policies = self.policies
+        if OPTIMAL_POLICY not in policies:
+            policies = policies + (OPTIMAL_POLICY,)
+        return dataclasses.replace(
+            self,
+            policies=policies,
+            optimal_max_nodes=max_nodes,
+            optimal_dominance_tolerance=dominance_tolerance,
+        )
+
     # -- serialization and hashing -------------------------------------- #
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema": SCHEMA_VERSION,
             "name": self.name,
             "description": self.description,
@@ -381,6 +435,16 @@ class SweepSpec:
             "backend": self.backend,
             "chunk_size": self.chunk_size,
         }
+        if self.has_optimal:
+            # Emitted (and therefore hashed) only when the optimal column is
+            # requested: these settings change the computed numbers of that
+            # column, but a spec without the column must keep its pre-optimal
+            # hash so existing store entries stay addressable.
+            payload["optimal"] = {
+                "max_nodes": self.optimal_max_nodes,
+                "dominance_tolerance": self.optimal_dominance_tolerance,
+            }
+        return payload
 
     @staticmethod
     def from_dict(payload: Mapping) -> "SweepSpec":
@@ -390,6 +454,8 @@ class SweepSpec:
                 f"sweep spec schema {schema} is not supported "
                 f"(this build understands schema {SCHEMA_VERSION})"
             )
+        optimal = payload.get("optimal") or {}
+        max_nodes = optimal.get("max_nodes", DEFAULT_OPTIMAL_MAX_NODES)
         return SweepSpec(
             name=str(payload["name"]),
             batteries=tuple(
@@ -400,6 +466,10 @@ class SweepSpec:
             backend=str(payload.get("backend", "analytical")),
             chunk_size=int(payload.get("chunk_size", DEFAULT_CHUNK_SIZE)),
             description=str(payload.get("description", "")),
+            optimal_max_nodes=None if max_nodes is None else int(max_nodes),
+            optimal_dominance_tolerance=float(
+                optimal.get("dominance_tolerance", DEFAULT_OPTIMAL_TOLERANCE)
+            ),
         )
 
     def canonical(self) -> dict:

@@ -35,8 +35,10 @@ import numpy as np
 
 from repro.sweep.spec import SweepSpec
 
-#: Arrays persisted per (chunk, policy); matches the BatchResult fields the
-#: analysis layer consumes.
+#: Arrays every (chunk, policy) record must carry; matches the BatchResult
+#: fields the analysis layer consumes.  Policies may persist additional
+#: arrays (the ``optimal`` column stores its per-scenario ``complete``
+#: mask); chunks round-trip whatever fields they were saved with.
 RESULT_FIELDS = ("lifetimes", "decisions", "residual_charge")
 
 
@@ -133,8 +135,14 @@ class ResultStore:
         """Atomically persist one chunk's per-policy result arrays."""
         arrays: Dict[str, np.ndarray] = {}
         for policy_index, (policy, fields) in enumerate(results.items()):
-            for field in RESULT_FIELDS:
-                arrays[f"p{policy_index}__{field}"] = np.asarray(fields[field])
+            missing = [field for field in RESULT_FIELDS if field not in fields]
+            if missing:
+                raise ValueError(
+                    f"policy {policy!r} chunk record is missing required "
+                    f"fields {missing}"
+                )
+            for field, values in fields.items():
+                arrays[f"p{policy_index}__{field}"] = np.asarray(values)
         path = self._chunk_path(spec_hash, index)
         path.parent.mkdir(parents=True, exist_ok=True)
         # A per-writer temp name keeps concurrent runs of the same spec from
@@ -167,13 +175,15 @@ class ResultStore:
         """Load one chunk back into the per-policy array mapping."""
         path = self._chunk_path(spec_hash, index)
         with np.load(path) as archive:
-            return {
-                policy: {
-                    field: archive[f"p{policy_index}__{field}"]
-                    for field in RESULT_FIELDS
+            out: Dict[str, Dict[str, np.ndarray]] = {}
+            for policy_index, policy in enumerate(policies):
+                prefix = f"p{policy_index}__"
+                out[policy] = {
+                    name[len(prefix):]: archive[name]
+                    for name in archive.files
+                    if name.startswith(prefix)
                 }
-                for policy_index, policy in enumerate(policies)
-            }
+            return out
 
     # ------------------------------------------------------------------ #
     # log and listing

@@ -75,6 +75,19 @@ class TestGateDecisions:
              "--baseline-dir", str(tmp_path / "base")]
         ) == 1
 
+    def test_optimal_record_is_gated(self, check_bench, tmp_path):
+        """The batched-optimal node-throughput ratio sits under the same
+        gate as the other records: halving it alone must fail."""
+        assert ("BENCH_optimal.json", "speedup") in check_bench.CHECKS
+        fresh = all_checks(check_bench, 20.0)
+        fresh[("BENCH_optimal.json", "speedup")] = 10.0  # 50% drop
+        write_records(tmp_path / "fresh", fresh)
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
     def test_missing_fresh_record_fails(self, check_bench, tmp_path):
         (tmp_path / "fresh").mkdir()
         write_records(tmp_path / "base", all_checks(check_bench, 20.0))

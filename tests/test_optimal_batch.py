@@ -1,0 +1,520 @@
+"""Tests for the batched branch-and-bound optimal search.
+
+The contract under test (see ``repro.engine.optimal_batch``):
+
+* **parity** -- on certified searches (``dominance_tolerance=0``, no node
+  cap) the batched search returns the same lifetime as the scalar
+  :class:`repro.core.optimal.OptimalScheduler` (within 1e-9 minutes for the
+  analytical model, in *exact ticks* for the discrete model) and the same
+  ``complete`` flag, on all ten paper loads;
+* **bounded node inflation** -- best-first expansion against a per-batch
+  incumbent may expand more nodes than the depth-first scalar search, but
+  only by a small factor (documented bound: 3x + one batch);
+* **shared pruning semantics** -- the vectorized dominance archive takes
+  exactly the same admit/reject decisions as the scalar reference archive;
+* **exact dKiBaM stepping** -- the lane-parallel segment kernel reproduces
+  ``DiscreteKibam.run_segment`` unit for unit, tick for tick.
+
+Searches use reduced-capacity batteries (0.75x B1) and, for the discrete
+backend, a coarser ``T = Gamma = 0.05`` grid so the scalar reference stays
+fast; the parity contract is discretization-independent (the bound slack
+scales with the coarseness on both sides, see ``discrete_bound_slack_for``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.battery import make_battery_models
+from repro.core.optimal import (
+    DominanceArchive,
+    OptimalScheduler,
+    find_optimal_schedule,
+)
+from repro.core.policies import FixedAssignmentPolicy
+from repro.core.simulator import simulate_policy
+from repro.engine.optimal_batch import (
+    BatchOptimalScheduler,
+    VectorDominanceArchive,
+    discrete_segment_array,
+    find_optimal_schedule_batched,
+    optimal_schedules_batch,
+)
+from repro.kibam.discrete import DiscreteBatteryState, DiscreteKibam
+from repro.kibam.parameters import B1, BatteryParameters
+from repro.workloads.load import Epoch, Load
+from repro.workloads.profiles import PAPER_LOAD_NAMES, paper_loads
+
+#: Reduced-capacity pair: same dynamics as 2xB1, much smaller searches.
+SCALED = B1.scaled(0.75)
+
+#: Coarse dKiBaM grid for the discrete parity runs (scalar reference cost).
+COARSE = dict(time_step=0.05, charge_unit=0.05)
+
+#: Documented node-inflation bound of the batched best-first expansion:
+#: a batch is popped against one incumbent while the scalar depth-first
+#: search re-checks an (often improved) incumbent at every node.
+NODE_FACTOR = 3
+NODE_SLACK = 64
+
+
+@pytest.fixture(scope="module")
+def all_loads():
+    return paper_loads()
+
+
+class TestAnalyticalParity:
+    @pytest.mark.parametrize("load_name", PAPER_LOAD_NAMES)
+    def test_lifetime_complete_and_nodes_match_scalar(self, all_loads, load_name):
+        load = all_loads[load_name]
+        scalar = find_optimal_schedule([SCALED, SCALED], load)
+        batched = find_optimal_schedule_batched([SCALED, SCALED], load)
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+        assert batched.complete == scalar.complete
+        assert batched.complete
+        assert batched.backend == "analytical"
+        assert (
+            batched.nodes_expanded
+            <= NODE_FACTOR * scalar.nodes_expanded + NODE_SLACK
+        )
+
+    def test_batched_assignment_replays_to_the_reported_lifetime(self, all_loads):
+        load = all_loads["ILs alt"]
+        batched = find_optimal_schedule_batched([SCALED, SCALED], load)
+        replay = simulate_policy(
+            [SCALED, SCALED], load, FixedAssignmentPolicy(batched.assignment)
+        )
+        assert replay.lifetime_or_raise() == pytest.approx(batched.lifetime)
+
+    def test_batch_size_does_not_change_the_result(self, all_loads):
+        load = all_loads["CL 250"]
+        results = [
+            BatchOptimalScheduler(
+                [SCALED, SCALED], load, batch_size=batch_size
+            ).search()
+            for batch_size in (1, 4, 64)
+        ]
+        lifetimes = {round(result.lifetime, 12) for result in results}
+        assert len(lifetimes) == 1
+
+    def test_heterogeneous_capacities_share_the_pooling_bound(self, all_loads):
+        small = BatteryParameters(capacity=2.0, c=0.166, k_prime=0.122)
+        large = BatteryParameters(capacity=4.0, c=0.166, k_prime=0.122)
+        load = all_loads["ILs 500"]
+        scalar = find_optimal_schedule([small, large], load)
+        batched = find_optimal_schedule_batched([small, large], load)
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+        assert batched.complete == scalar.complete
+
+    def test_heterogeneous_chemistry_uses_the_total_charge_bound(self):
+        # Different c/k' pairs cannot pool; both searches must fall back to
+        # the total-charge bound and still agree.
+        a = BatteryParameters(capacity=1.5, c=0.166, k_prime=0.122)
+        b = BatteryParameters(capacity=1.5, c=0.25, k_prime=0.2)
+        epochs = tuple(
+            Epoch(current=0.5 if i % 2 == 0 else 0.0, duration=1.0)
+            for i in range(24)
+        )
+        load = Load(name="hetero", epochs=epochs)
+        scalar = find_optimal_schedule([a, b], load)
+        batched = find_optimal_schedule_batched([a, b], load)
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+
+    def test_single_battery_degenerates_to_sequential(self, all_loads):
+        load = all_loads["ILs 500"]
+        batched = find_optimal_schedule_batched([SCALED], load)
+        sequential = simulate_policy([SCALED], load, "sequential").lifetime_or_raise()
+        assert batched.lifetime == pytest.approx(sequential)
+
+    def test_linear_model_falls_back_to_the_scalar_search(self, all_loads):
+        load = all_loads["CL 500"]
+        scalar = find_optimal_schedule([SCALED, SCALED], load, backend="linear")
+        batched = find_optimal_schedule_batched([SCALED, SCALED], load, model="linear")
+        assert batched.backend == "linear"
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+
+
+class TestDiscreteParity:
+    @pytest.mark.parametrize("load_name", PAPER_LOAD_NAMES)
+    def test_exact_tick_parity_with_the_scalar_search(self, all_loads, load_name):
+        load = all_loads[load_name]
+        scalar = find_optimal_schedule(
+            [SCALED, SCALED], load, backend="discrete", **COARSE
+        )
+        batched = find_optimal_schedule_batched(
+            [SCALED, SCALED], load, model="discrete", **COARSE
+        )
+        # Both lifetimes come from a scalar replay of the winning
+        # assignment, so the exact contract is equal *tick counts* (two
+        # co-optimal assignments may split the same ticks into different
+        # float spans).
+        time_step = COARSE["time_step"]
+        assert round(batched.lifetime / time_step) == round(
+            scalar.lifetime / time_step
+        )
+        assert batched.complete == scalar.complete
+        assert batched.complete
+        assert batched.backend == "discrete"
+        assert (
+            batched.nodes_expanded
+            <= NODE_FACTOR * scalar.nodes_expanded + NODE_SLACK
+        )
+
+    def test_discrete_result_replays_exactly(self, all_loads):
+        load = all_loads["ILs alt"]
+        batched = find_optimal_schedule_batched(
+            [SCALED, SCALED], load, model="discrete", **COARSE
+        )
+        replay = simulate_policy(
+            [SCALED, SCALED],
+            load,
+            FixedAssignmentPolicy(batched.assignment),
+            backend="discrete",
+            **COARSE,
+        )
+        assert replay.lifetime_or_raise() == batched.lifetime
+
+
+class TestDominanceAblation:
+    def small_load(self):
+        epochs = tuple(
+            Epoch(current=0.5 if i % 2 == 0 else 0.25, duration=1.0)
+            for i in range(10)
+        )
+        return Load(name="small-alt", epochs=epochs)
+
+    def small_pair(self):
+        small = BatteryParameters(capacity=1.5, c=0.166, k_prime=0.122)
+        return [small, small]
+
+    def test_batched_search_without_dominance_matches_with(self):
+        load, pair = self.small_load(), self.small_pair()
+        with_dominance = find_optimal_schedule_batched(pair, load)
+        without = find_optimal_schedule_batched(pair, load, use_dominance=False)
+        assert without.lifetime == pytest.approx(with_dominance.lifetime, abs=1e-9)
+        assert without.nodes_expanded >= with_dominance.nodes_expanded
+
+    def test_undominated_batched_search_matches_undominated_scalar(self):
+        load, pair = self.small_load(), self.small_pair()
+        scalar = find_optimal_schedule(pair, load, use_dominance=False)
+        batched = find_optimal_schedule_batched(pair, load, use_dominance=False)
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+        assert batched.complete == scalar.complete
+
+    def test_undominated_discrete_parity(self):
+        load, pair = self.small_load(), self.small_pair()
+        scalar = find_optimal_schedule(
+            pair, load, backend="discrete", use_dominance=False, **COARSE
+        )
+        batched = find_optimal_schedule_batched(
+            pair, load, model="discrete", use_dominance=False, **COARSE
+        )
+        time_step = COARSE["time_step"]
+        assert round(batched.lifetime / time_step) == round(
+            scalar.lifetime / time_step
+        )
+
+
+class TestSearchControls:
+    def test_max_nodes_marks_the_result_incomplete(self, all_loads):
+        load = all_loads["ILs alt"]
+        capped = find_optimal_schedule_batched([SCALED, SCALED], load, max_nodes=2)
+        full = find_optimal_schedule_batched([SCALED, SCALED], load)
+        assert not capped.complete
+        assert capped.lifetime <= full.lifetime + 1e-9
+        best = simulate_policy([SCALED, SCALED], load, "best-of-two").lifetime_or_raise()
+        assert capped.lifetime >= best - 1e-9  # never worse than the incumbent
+
+    def test_dominance_tolerance_stays_near_the_certified_result(self, all_loads):
+        load = all_loads["ILs alt"]
+        exact = find_optimal_schedule_batched([SCALED, SCALED], load)
+        relaxed = find_optimal_schedule_batched(
+            [SCALED, SCALED], load, dominance_tolerance=0.005
+        )
+        assert relaxed.lifetime == pytest.approx(exact.lifetime, rel=0.005)
+
+    def test_parameter_validation(self, all_loads):
+        load = all_loads["CL 500"]
+        with pytest.raises(ValueError):
+            BatchOptimalScheduler([], load)
+        with pytest.raises(ValueError):
+            BatchOptimalScheduler([SCALED], load, dominance_tolerance=-1.0)
+        with pytest.raises(ValueError):
+            BatchOptimalScheduler([SCALED], load, batch_size=0)
+        with pytest.raises(ValueError):
+            BatchOptimalScheduler([SCALED], load, model="linear")
+
+    def test_batch_helper_runs_one_search_per_load(self, all_loads):
+        loads = [all_loads["CL 500"], all_loads["ILs 500"]]
+        results = optimal_schedules_batch(loads, [SCALED, SCALED])
+        assert len(results) == 2
+        singles = [
+            find_optimal_schedule_batched(
+                [SCALED, SCALED], load, max_nodes=20_000, dominance_tolerance=0.005
+            )
+            for load in loads
+        ]
+        for got, expected in zip(results, singles):
+            assert got.lifetime == pytest.approx(expected.lifetime, abs=1e-9)
+
+    def test_capped_searches_fall_back_to_the_scalar_dfs(self, all_loads):
+        """A capped best-first frontier certifies a shallow lower bound; the
+        helper must re-drive it through the depth-first scalar search and
+        keep the better *whole* result (lifetime, decisions and residual
+        from one schedule, not a mix)."""
+        load = all_loads["ILs alt"]
+        capped_raw = optimal_schedules_batch(
+            [load], [SCALED, SCALED], max_nodes=2, dominance_tolerance=0.0,
+            scalar_fallback=False,
+        )[0]
+        assert not capped_raw.complete
+        with_fallback = optimal_schedules_batch(
+            [load], [SCALED, SCALED], max_nodes=2, dominance_tolerance=0.0
+        )[0]
+        scalar = find_optimal_schedule(
+            [SCALED, SCALED], load, max_nodes=2, dominance_tolerance=0.0
+        )
+        assert with_fallback.lifetime >= max(capped_raw.lifetime, scalar.lifetime) - 1e-9
+        # Internal consistency: the reported metadata belongs to the
+        # reported schedule.
+        replay = simulate_policy(
+            [SCALED, SCALED], load, FixedAssignmentPolicy(with_fallback.assignment)
+        )
+        assert replay.lifetime_or_raise() == pytest.approx(with_fallback.lifetime)
+        assert with_fallback.residual_charge == pytest.approx(replay.residual_charge)
+        assert len(with_fallback.assignment) == replay.decisions
+
+    def test_fallback_upgrades_to_certified_when_the_scalar_completes(
+        self, all_loads, monkeypatch
+    ):
+        """If the depth-first fallback *finishes* inside the node budget its
+        result is the certified optimum and replaces the capped one, even
+        when the lifetimes tie."""
+        import repro.engine.parallel as parallel
+
+        load = all_loads["ILs alt"]
+        certified = find_optimal_schedule([SCALED, SCALED], load)
+        assert certified.complete
+        monkeypatch.setattr(
+            parallel, "optimal_schedules_chunk", lambda *args, **kwargs: [certified]
+        )
+        result = optimal_schedules_batch(
+            [load], [SCALED, SCALED], max_nodes=2, dominance_tolerance=0.0
+        )[0]
+        assert result is certified
+
+    def test_fallback_never_discards_a_longer_batched_schedule(
+        self, all_loads, monkeypatch
+    ):
+        """A 'complete' DFS under tolerance merging can still return a worse
+        schedule than the capped batched search found; the lifetime
+        comparison must win over the completeness flag."""
+        import dataclasses
+
+        import repro.engine.parallel as parallel
+
+        load = all_loads["ILs alt"]
+        capped = optimal_schedules_batch(
+            [load], [SCALED, SCALED], max_nodes=2, dominance_tolerance=0.0,
+            scalar_fallback=False,
+        )[0]
+        worse_but_certified = dataclasses.replace(
+            find_optimal_schedule([SCALED, SCALED], load),
+            lifetime=capped.lifetime - 0.5,
+            complete=True,
+        )
+        monkeypatch.setattr(
+            parallel,
+            "optimal_schedules_chunk",
+            lambda *args, **kwargs: [worse_but_certified],
+        )
+        result = optimal_schedules_batch(
+            [load], [SCALED, SCALED], max_nodes=2, dominance_tolerance=0.0
+        )[0]
+        assert result.lifetime == capped.lifetime
+        assert not result.complete
+
+
+class TestResultMetadata:
+    def test_as_simulation_result_carries_the_winning_leaf(self, all_loads):
+        """Regression: optimal rows used to report nan residual charge and
+        empty final states, forcing downstream tables to special-case them."""
+        load = all_loads["ILs alt"]
+        for result in (
+            find_optimal_schedule([SCALED, SCALED], load),
+            find_optimal_schedule_batched([SCALED, SCALED], load),
+        ):
+            simulation = result.as_simulation_result()
+            assert np.isfinite(simulation.residual_charge)
+            assert len(simulation.final_states) == 2
+            assert simulation.decisions == len(result.assignment)
+            replay = simulate_policy(
+                [SCALED, SCALED], load, FixedAssignmentPolicy(result.assignment)
+            )
+            assert simulation.residual_charge == pytest.approx(replay.residual_charge)
+
+    def test_incumbent_policy_is_reported(self, all_loads):
+        result = find_optimal_schedule_batched([SCALED, SCALED], all_loads["ILs 500"])
+        assert result.incumbent_policy in {"sequential", "round-robin", "best-of-two"}
+        assert result.nodes_expanded >= 0
+
+
+class TestVectorDominanceArchive:
+    def _random_matrices(self, rng, n, n_batteries=2, n_components=3):
+        matrices = rng.integers(-3, 4, size=(n, n_batteries, n_components)) * 0.5
+        # Sprinkle the scalar archive's empty-battery sentinel rows.
+        for index in range(0, n, 7):
+            matrices[index, rng.integers(n_batteries)] = [0.0, -np.inf, -np.inf][
+                :n_components
+            ]
+        return matrices
+
+    @pytest.mark.parametrize("symmetric", [True, False])
+    @pytest.mark.parametrize("tolerance", [0.0, 0.25])
+    def test_decisions_match_the_scalar_archive(self, symmetric, tolerance):
+        rng = np.random.default_rng(11)
+        scalar = DominanceArchive(
+            symmetric=symmetric, dominance_tolerance=tolerance, archive_limit=8
+        )
+        vector = VectorDominanceArchive(
+            symmetric=symmetric,
+            n_batteries=2,
+            dominance_tolerance=tolerance,
+            archive_limit=8,
+        )
+        matrices = self._random_matrices(rng, 300)
+        keys = rng.integers(0, 4, size=300)
+        for key, matrix in zip(keys, matrices):
+            expected = scalar.admit(
+                (int(key),), tuple(tuple(row) for row in matrix)
+            )
+            got = vector.admit((int(key),), matrix)
+            assert got == expected
+
+    def test_archive_limit_is_respected(self):
+        vector = VectorDominanceArchive(
+            symmetric=False, n_batteries=1, archive_limit=2
+        )
+        # Mutually non-dominating vectors: only the first two are archived,
+        # later ones are still admitted (the scalar semantics).
+        for value in range(5):
+            matrix = np.array([[float(value), float(-value)]])
+            assert vector.admit("k", matrix)
+        stored = vector._entries["k"][1]
+        assert stored.shape[0] == 2
+
+
+class TestDiscreteSegmentKernel:
+    def _scalar_reference(self, model, state, current, ticks):
+        spec = model.discharge_spec(current) if current > 0.0 else None
+        empty_tick = None
+        for tick in range(1, ticks + 1):
+            state = model.tick(state, spec)
+            if state.empty:
+                empty_tick = tick
+                break
+        return state, empty_tick
+
+    def test_matches_run_segment_over_random_histories(self):
+        params = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122)
+        model = DiscreteKibam(params, time_step=0.05, charge_unit=0.05)
+        rng = np.random.default_rng(5)
+        spec_by_current = {c: model.discharge_spec(c) for c in (0.25, 0.5)}
+        n_lanes = 16
+        states = [model.initial_state() for _ in range(n_lanes)]
+        done = [False] * n_lanes
+        tables = np.array([model.recovery_steps], dtype=np.int64)
+        for _ in range(12):
+            currents = rng.choice([0.0, 0.25, 0.5], size=n_lanes)
+            ticks = rng.integers(1, 40, size=n_lanes)
+            live = [i for i in range(n_lanes) if not done[i]]
+            if not live:
+                break
+            cur = np.array(
+                [spec_by_current[currents[i]].cur if currents[i] else 0 for i in live],
+                dtype=np.int64,
+            )
+            ct = np.array(
+                [
+                    spec_by_current[currents[i]].cur_times if currents[i] else 1
+                    for i in live
+                ],
+                dtype=np.int64,
+            )
+            lane_ticks = np.array([ticks[i] for i in live], dtype=np.int64)
+            n = np.array([states[i].n for i in live], dtype=np.int64)
+            m = np.array([states[i].m for i in live], dtype=np.int64)
+            rec = np.array([states[i].recov_ticks for i in live], dtype=np.int64)
+            acc = np.array([states[i].disch_ticks for i in live], dtype=np.int64)
+            rcur = np.array([states[i].disch_rate[0] for i in live], dtype=np.int64)
+            rct = np.array([states[i].disch_rate[1] for i in live], dtype=np.int64)
+            out = discrete_segment_array(
+                tables,
+                np.zeros(len(live), dtype=np.int64),
+                np.full(len(live), model.c_permille, dtype=np.int64),
+                n, m, rec, acc, rcur, rct, cur, ct, lane_ticks,
+            )
+            n2, m2, rec2, acc2, rcur2, rct2, empty_tick = out
+            for row, i in enumerate(live):
+                ref_state, ref_empty = self._scalar_reference(
+                    model, states[i], float(currents[i]), int(ticks[i])
+                )
+                assert (n2[row], m2[row]) == (ref_state.n, ref_state.m), (row, i)
+                assert rec2[row] == ref_state.recov_ticks
+                assert acc2[row] == ref_state.disch_ticks
+                assert (rcur2[row], rct2[row]) == ref_state.disch_rate
+                expected_tick = -1 if ref_empty is None else ref_empty
+                assert empty_tick[row] == expected_tick
+                if ref_empty is not None:
+                    done[i] = True
+                else:
+                    states[i] = DiscreteBatteryState(
+                        n=int(n2[row]),
+                        m=int(m2[row]),
+                        disch_ticks=int(acc2[row]),
+                        disch_rate=(int(rcur2[row]), int(rct2[row])),
+                        recov_ticks=int(rec2[row]),
+                    )
+
+    def test_draw_can_outpace_the_recovery_counter(self):
+        # The clamp regression from the batch engine: a draw raises m into a
+        # shorter recovery step than the accumulated counter; the next
+        # recovery event must fire one tick later, not steps[m]-rec later.
+        params = BatteryParameters(capacity=0.5, c=0.5, k_prime=1.8)
+        model = DiscreteKibam(params, time_step=0.05, charge_unit=0.05)
+        state = model.initial_state()
+        ref_state, ref_empty = self._scalar_reference(model, state, 0.5, 120)
+        out = discrete_segment_array(
+            np.array([model.recovery_steps], dtype=np.int64),
+            np.zeros(1, dtype=np.int64),
+            np.array([model.c_permille], dtype=np.int64),
+            np.array([state.n], dtype=np.int64),
+            np.array([state.m], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+            np.array([model.discharge_spec(0.5).cur], dtype=np.int64),
+            np.array([model.discharge_spec(0.5).cur_times], dtype=np.int64),
+            np.array([120], dtype=np.int64),
+        )
+        assert (out[0][0], out[1][0]) == (ref_state.n, ref_state.m)
+        assert out[6][0] == (-1 if ref_empty is None else ref_empty)
+
+
+class TestPoolingBoundParity:
+    def test_batched_root_bound_matches_the_scalar_bound(self, all_loads):
+        load = all_loads["ILs 250"]
+        models = make_battery_models([SCALED, SCALED])
+        scalar = OptimalScheduler(models, load)
+        states = tuple(model.initial_state() for model in models)
+        scalar_bound = scalar._remaining_lifetime_bound(states, 0, 0.0)
+
+        batched = BatchOptimalScheduler([SCALED, SCALED], load)
+        ops = batched._ops
+        root = ops.root()
+        gamma = np.array([root.state[:, 0].sum()])
+        delta = np.array([root.state[:, 1].sum()])
+        bound = ops.bounds.pooled_bounds(
+            gamma, delta, np.array([0]), np.array([0.0])
+        )[0]
+        assert bound == pytest.approx(scalar_bound, abs=1e-9)

@@ -7,8 +7,9 @@ from hypothesis import given, settings, strategies as st
 
 import pytest
 
-from repro.core.optimal import find_optimal_schedule
+from repro.core.optimal import discrete_bound_slack_for, find_optimal_schedule
 from repro.core.simulator import simulate_policy
+from repro.engine.optimal_batch import find_optimal_schedule_batched
 from repro.kibam.analytical import (
     KibamState,
     available_charge,
@@ -170,6 +171,89 @@ class TestSchedulingProperties:
         assert sequential.lifetime <= best.lifetime + 1e-6
         assert best.lifetime <= optimal.lifetime + 1e-6
         assert pooled is None or optimal.lifetime <= pooled + 1e-6
+
+    @given(
+        load=short_loads(),
+        cap_a=st.floats(min_value=0.5, max_value=2.0),
+        cap_b=st.floats(min_value=0.5, max_value=2.0),
+        c=st.floats(min_value=0.1, max_value=0.4),
+        k_prime=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_batched_optimal_is_bracketed_by_heuristics_and_pooling(
+        self, load, cap_a, cap_b, c, k_prime
+    ):
+        """Batched-optimal >= every heuristic policy, <= the pooling bound.
+
+        Random loads x random battery pairs (shared ``c``/``k'`` so the
+        perfect-pooling bound applies; the capacities differ).  The batched
+        search is capped like the sweep default; the inequalities hold for
+        capped searches too, because the incumbent already includes every
+        heuristic and any found schedule respects the pooling bound.
+        """
+        if load.job_count == 0:
+            return
+        pair = [
+            BatteryParameters(capacity=cap_a, c=c, k_prime=k_prime),
+            BatteryParameters(capacity=cap_b, c=c, k_prime=k_prime),
+        ]
+        long_load = load.repeated(20)
+        heuristics = {}
+        for policy in ("sequential", "round-robin", "best-of-two"):
+            result = simulate_policy(pair, long_load, policy)
+            if result.survived:
+                return
+            heuristics[policy] = result.lifetime
+        optimal = find_optimal_schedule_batched(
+            pair, long_load, dominance_tolerance=0.01, max_nodes=2000
+        )
+        for policy, lifetime in heuristics.items():
+            assert optimal.lifetime >= lifetime - 1e-6, policy
+        pooled = lifetime_under_segments(
+            BatteryParameters(capacity=cap_a + cap_b, c=c, k_prime=k_prime),
+            long_load.segments(),
+        )
+        assert pooled is None or optimal.lifetime <= pooled + 1e-6
+
+    @given(load=short_loads(), cap=st.floats(min_value=0.5, max_value=2.0))
+    @settings(max_examples=6, deadline=None)
+    def test_batched_discrete_optimal_is_bracketed(self, load, cap):
+        """The dKiBaM batched-optimal obeys the same bracket, plus the
+        documented discretization slack: a coarse grid (T = Gamma = 0.1
+        here) inflates dKiBaM lifetimes above the analytical pooling bound
+        by up to ``discrete_bound_slack_for`` relatively, plus tick
+        granularity at the crossing."""
+        if load.job_count == 0:
+            return
+        pair = [
+            BatteryParameters(capacity=cap, c=0.166, k_prime=0.122),
+            BatteryParameters(capacity=cap, c=0.166, k_prime=0.122),
+        ]
+        coarse = dict(time_step=0.1, charge_unit=0.1)
+        long_load = load.repeated(20)
+        heuristics = {}
+        for policy in ("sequential", "best-of-two"):
+            result = simulate_policy(pair, long_load, policy, backend="discrete", **coarse)
+            if result.survived:
+                return
+            heuristics[policy] = result.lifetime
+        optimal = find_optimal_schedule_batched(
+            pair,
+            long_load,
+            model="discrete",
+            dominance_tolerance=0.01,
+            max_nodes=2000,
+            **coarse,
+        )
+        for policy, lifetime in heuristics.items():
+            assert optimal.lifetime >= lifetime - 1e-6, policy
+        pooled = lifetime_under_segments(
+            BatteryParameters(capacity=2 * cap, c=0.166, k_prime=0.122),
+            long_load.segments(),
+        )
+        slack = discrete_bound_slack_for(**coarse)
+        if pooled is not None:
+            assert optimal.lifetime <= pooled * (1.0 + slack) + 0.5
 
     @given(load=short_loads())
     @settings(max_examples=20, deadline=None)

@@ -63,6 +63,11 @@ def small_spec(chunk_size=4, n_samples=10, policies=("sequential", "best-of-two"
     )
 
 
+def small_optimal_spec(n_samples=4, **optimal_kwargs):
+    """A tiny campaign with the optimal-schedule column appended."""
+    return small_spec(n_samples=n_samples).with_optimal(**optimal_kwargs)
+
+
 class TestSpecHash:
     def test_hash_is_stable_across_processes(self):
         """The content hash must not depend on the process that computes it."""
@@ -549,6 +554,272 @@ class TestCli:
             check=True,
         )
         assert "table5" in result.stdout
+
+
+class TestOptimalColumn:
+    """The optimal-schedule column as a first-class sweep citizen."""
+
+    def test_optimal_hash_is_stable_across_processes(self):
+        spec = small_optimal_spec()
+        code = (
+            "from tests.test_sweep import small_optimal_spec;"
+            "print(small_optimal_spec().spec_hash())"
+        )
+        env = dict(os.environ)
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(repo_root, "src"), repo_root]
+        )
+        for hash_seed in ("0", "9876"):
+            env["PYTHONHASHSEED"] = hash_seed
+            result = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=repo_root,
+                check=True,
+            )
+            assert result.stdout.strip() == spec.spec_hash()
+
+    def test_optimal_settings_enter_the_hash(self):
+        base = small_optimal_spec()
+        assert base.spec_hash() != small_spec(n_samples=4).spec_hash()
+        assert (
+            small_optimal_spec(max_nodes=123).spec_hash() != base.spec_hash()
+        )
+        assert (
+            small_optimal_spec(dominance_tolerance=0.25).spec_hash()
+            != base.spec_hash()
+        )
+        assert small_optimal_spec().spec_hash() == base.spec_hash()
+
+    def test_specs_without_optimal_ignore_the_optimal_settings(self):
+        """Pre-optimal hashes must survive: old stores stay addressable."""
+        import dataclasses
+
+        spec = small_spec()
+        assert "optimal" not in spec.to_dict()
+        tweaked = dataclasses.replace(spec, optimal_max_nodes=5)
+        assert tweaked.spec_hash() == spec.spec_hash()
+
+    def test_with_optimal_validation(self):
+        with pytest.raises(ValueError, match="optimal_max_nodes"):
+            small_optimal_spec(max_nodes=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            small_optimal_spec(dominance_tolerance=-0.5)
+        # None means an uncapped, certified search.
+        assert small_optimal_spec(max_nodes=None).optimal_max_nodes is None
+
+    def test_cold_run_then_cache_hit_round_trips_the_optimal_column(self, tmp_path):
+        spec = small_optimal_spec()
+        runner = SweepRunner(ResultStore(tmp_path / "store"))
+        cold = runner.run(spec)
+        assert cold.stats.chunks_run == spec.n_chunks
+        warm = runner.run(spec)
+        assert warm.stats.chunks_run == 0
+        assert warm.stats.chunks_cached == spec.n_chunks
+        np.testing.assert_array_equal(
+            warm.lifetimes["optimal"], cold.lifetimes["optimal"]
+        )
+        np.testing.assert_array_equal(
+            warm.complete["optimal"], cold.complete["optimal"]
+        )
+        assert cold.complete["optimal"].all()
+        # The optimal column dominates every policy column per sample.
+        for policy in ("sequential", "best-of-two"):
+            assert (
+                cold.lifetimes["optimal"] >= cold.lifetimes[policy] - 1e-9
+            ).all()
+
+    def test_incomplete_searches_annotate_the_rendered_table(self, tmp_path):
+        # An ILs-alt style load where the heuristics are suboptimal, so a
+        # one-node budget must leave the search incomplete.
+        from repro.workloads.profiles import intermittent_alternating_load
+
+        alt = intermittent_alternating_load(total_duration=60.0)
+        medium = B1.scaled(0.75)
+        spec = SweepSpec(
+            name="capped",
+            batteries=(BatteryConfig(label="2xM", params=(medium, medium)),),
+            loads=(LoadAxis.explicit([alt]),),
+            policies=("sequential", "best-of-two"),
+        ).with_optimal(max_nodes=1, dominance_tolerance=0.0)
+        result = SweepRunner(ResultStore(tmp_path / "store")).run(spec)
+        incomplete = result.incomplete_counts()["optimal"]
+        assert incomplete > 0
+        rendered = result.render()
+        assert f"!{incomplete}" in rendered
+        assert "max_nodes" in rendered
+        # Capped lifetimes are still at least the heuristic incumbent.
+        for policy in ("sequential", "best-of-two"):
+            assert (
+                result.lifetimes["optimal"] >= result.lifetimes[policy] - 1e-9
+            ).all()
+        # The annotation survives a cache read too.
+        warm = SweepRunner(ResultStore(tmp_path / "store")).run(spec)
+        assert warm.incomplete_counts()["optimal"] == incomplete
+        assert f"!{incomplete}" in warm.render()
+
+    def test_cli_optimal_flag_cold_then_cached(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(small_spec(n_samples=3).to_dict()))
+        store = str(tmp_path / "store")
+        assert sweep_cli(
+            ["run", "--spec-file", str(spec_file), "--optimal", "--store", store]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "optimal" in out
+        assert "1 run, 0 cached" in out
+        assert sweep_cli(
+            ["run", "--spec-file", str(spec_file), "--optimal", "--store", store]
+        ) == 0
+        assert "0 run, 1 cached" in capsys.readouterr().out
+        # Same flags address the same entry through `show`.
+        assert sweep_cli(
+            ["show", "--spec-file", str(spec_file), "--optimal", "--store", store]
+        ) == 0
+        assert "optimal" in capsys.readouterr().out
+        # Without --optimal the spec addresses a different (absent) entry.
+        assert sweep_cli(
+            ["run", "--spec-file", str(spec_file), "--store", store, "--quiet"]
+        ) == 0
+        assert "1 run, 0 cached" in capsys.readouterr().out
+
+    def test_cli_optimal_settings_change_the_store_entry(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(small_spec(n_samples=2).to_dict()))
+        store = str(tmp_path / "store")
+        args = ["run", "--spec-file", str(spec_file), "--optimal", "--store", store,
+                "--quiet"]
+        assert sweep_cli(args) == 0
+        capsys.readouterr()
+        assert sweep_cli(args + ["--optimal-max-nodes", "77"]) == 0
+        assert "1 run, 0 cached" in capsys.readouterr().out
+
+    def test_cli_optimal_flag_validation_exits_2(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(small_spec(n_samples=2).to_dict()))
+        store = str(tmp_path / "store")
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["run", "--spec-file", str(spec_file), "--store", store,
+                       "--optimal-max-nodes", "10"])
+        assert excinfo.value.code == 2
+        assert "--optimal" in capsys.readouterr().err
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["run", "--spec-file", str(spec_file), "--store", store,
+                       "--optimal", "--optimal-max-nodes", "0"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["run", "--spec-file", str(spec_file), "--store", store,
+                       "--optimal", "--dominance-tolerance", "-0.1"])
+        assert excinfo.value.code == 2
+        # Also when the spec already carries the optimal column (no --optimal
+        # flag): still a clean exit-2 usage error, not a traceback.
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["run", "--spec", "table5-optimal", "--store", store,
+                       "--optimal-max-nodes", "0"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit) as excinfo:
+            sweep_cli(["show", "--spec", "table5-optimal", "--store", store,
+                       "--dominance-tolerance", "-2"])
+        assert excinfo.value.code == 2
+
+    def test_builtin_table5_optimal_matches_the_flag_spelling(self):
+        specs = builtin_specs()
+        from_flag = specs["table5"].with_optimal()
+        assert specs["table5-optimal"].spec_hash() == from_flag.spec_hash()
+
+    def test_montecarlo_accepts_optimal_as_policy(self):
+        result = run_montecarlo(
+            [SMALL, SMALL],
+            n_samples=3,
+            policies=("sequential", "optimal"),
+            config=FAST_CONFIG,
+            seed=7,
+            engine="batch",
+        )
+        assert list(result.per_sample) == ["sequential", "optimal"]
+        for optimal, sequential in zip(
+            result.per_sample["optimal"], result.per_sample["sequential"]
+        ):
+            assert optimal >= sequential - 1e-9
+        legacy = run_montecarlo(
+            [SMALL, SMALL],
+            n_samples=3,
+            policies=("sequential",),
+            include_optimal=True,
+            config=FAST_CONFIG,
+            seed=7,
+            engine="batch",
+        )
+        assert legacy.per_sample["optimal"] == result.per_sample["optimal"]
+
+    def test_montecarlo_optimal_column_is_cacheable(self, tmp_path):
+        kwargs = dict(
+            n_samples=3,
+            policies=("sequential", "optimal"),
+            config=FAST_CONFIG,
+            seed=5,
+            engine="batch",
+            cache_dir=str(tmp_path / "store"),
+        )
+        cold = run_montecarlo([SMALL, SMALL], **kwargs)
+        warm = run_montecarlo([SMALL, SMALL], **kwargs)
+        assert warm.per_sample == cold.per_sample
+        # One store entry, all chunks complete.
+        [entry] = ResultStore(tmp_path / "store").entries()
+        assert entry.complete
+        assert "optimal" in entry.policies
+
+    def test_montecarlo_optimal_column_matches_with_and_without_store(self, tmp_path):
+        """Capped or not, the optimal column must not depend on whether a
+        cache_dir was supplied (both paths share the scalar-DFS fallback)."""
+        kwargs = dict(
+            n_samples=3,
+            policies=("sequential", "optimal"),
+            config=FAST_CONFIG,
+            seed=3,
+            engine="batch",
+            optimal_max_nodes=10,
+        )
+        direct = run_montecarlo([SMALL, SMALL], **kwargs)
+        stored = run_montecarlo(
+            [SMALL, SMALL], cache_dir=str(tmp_path / "store"), **kwargs
+        )
+        assert stored.per_sample["optimal"] == direct.per_sample["optimal"]
+
+    def test_montecarlo_rejects_policy_objects_named_optimal(self):
+        from repro.core.policies import make_policy
+
+        impostor = make_policy("sequential")
+        impostor.name = "optimal"
+        with pytest.raises(ValueError, match="branch-and-bound"):
+            run_montecarlo(
+                [SMALL, SMALL], n_samples=2, policies=(impostor,),
+                config=FAST_CONFIG,
+            )
+
+    def test_montecarlo_scalar_engine_agrees_with_batch(self):
+        batch = run_montecarlo(
+            [SMALL, SMALL],
+            n_samples=2,
+            policies=("sequential", "optimal"),
+            config=FAST_CONFIG,
+            seed=9,
+            engine="batch",
+        )
+        scalar = run_montecarlo(
+            [SMALL, SMALL],
+            n_samples=2,
+            policies=("sequential", "optimal"),
+            config=FAST_CONFIG,
+            seed=9,
+            engine="scalar",
+        )
+        for policy in ("sequential", "optimal"):
+            for a, b in zip(batch.per_sample[policy], scalar.per_sample[policy]):
+                assert a == pytest.approx(b, abs=1e-6)
 
 
 class TestAggregation:
