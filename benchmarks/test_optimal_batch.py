@@ -18,14 +18,24 @@ cares about (the scalar equivalent takes ~30s and is not re-measured here;
 its node rate is what the gate compares).
 
 The acceptance bar of the batched-optimal PR is a 3x node-throughput ratio
-on one core (observed: ~5-7x); ``scripts/check_bench.py`` tracks the
-recorded ratio against the committed baseline thereafter.
+on one core (observed: ~5-7x since the frontier-array refactor);
+``scripts/check_bench.py`` tracks the recorded ratio against the committed
+baseline thereafter.
+
+A second harness measures *spec-level dominance pruning*: the sweep
+runner's cross-grid-point incumbent seeding on a table5-style capacity
+grid, recorded as the seeded-vs-fresh expanded-node ratio
+(``sweep_nodes_ratio``, also gated) with a bitwise result-identity check
+inside the benchmark.  Both harnesses merge their keys into
+``BENCH_optimal.json`` so either can run alone without clobbering the
+other's gated record.
 """
 
 import json
 import pathlib
 import time
 
+import numpy as np
 import pytest
 
 from benchmarks.conftest import emit
@@ -35,8 +45,23 @@ from repro.engine.optimal_batch import (
     optimal_schedules_batch,
 )
 from repro.kibam.parameters import B1
+from repro.sweep import LoadAxis, SweepRunner, SweepSpec, battery_grid
 
 BENCH_OPTIMAL_PATH = pathlib.Path(__file__).resolve().parents[1] / "BENCH_optimal.json"
+
+
+def update_bench_record(updates: dict) -> None:
+    """Merge keys into ``BENCH_optimal.json`` without dropping the others.
+
+    Two harnesses share the record (node throughput here, the seeded-sweep
+    node ratio below); merge-style writes keep a partial run from deleting
+    the other harness's gated keys.
+    """
+    record = {}
+    if BENCH_OPTIMAL_PATH.is_file():
+        record = json.loads(BENCH_OPTIMAL_PATH.read_text())
+    record.update(updates)
+    BENCH_OPTIMAL_PATH.write_text(json.dumps(record, indent=2) + "\n")
 
 #: Node budget for the timed searches: enough to dominate the fixed costs
 #: (incumbent simulation, replay) on both sides, small enough to keep the
@@ -101,23 +126,110 @@ def test_optimal_batch_node_throughput(benchmark, loads, b1):
 
     assert speedup >= 3.0, f"batched optimal speedup {speedup:.1f}x fell below 3x"
 
-    record = {
-        "experiment": "optimal-batch-vs-scalar-search",
-        "batteries": "2 x B1",
-        "load": "ILs 250",
-        "max_nodes": MEASURE_NODES,
-        "dominance_tolerance": TOLERANCE,
-        "scalar_nodes_per_sec": round(scalar_rate, 1),
-        "batched_nodes_per_sec": round(batched_rate, 1),
-        "batched_seconds_per_search": round(batched_seconds, 4),
-        "table5_optimal_seconds": round(table5_seconds, 2),
-        "speedup": round(speedup, 1),
-    }
-    BENCH_OPTIMAL_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    update_bench_record(
+        {
+            "experiment": "optimal-batch-vs-scalar-search",
+            "batteries": "2 x B1",
+            "load": "ILs 250",
+            "max_nodes": MEASURE_NODES,
+            "dominance_tolerance": TOLERANCE,
+            "scalar_nodes_per_sec": round(scalar_rate, 1),
+            # The frontier-array node throughput (structure-of-arrays
+            # slot pools; the per-round node-stacking search this replaced
+            # peaked around 5.6k nodes/sec on this box).
+            "batched_nodes_per_sec": round(batched_rate, 1),
+            "batched_seconds_per_search": round(batched_seconds, 4),
+            "table5_optimal_seconds": round(table5_seconds, 2),
+            "speedup": round(speedup, 1),
+        }
+    )
     emit(
         "Extension E12 -- batched optimal search throughput (ILs 250, 2 x B1)",
         f"scalar search : {scalar_rate:10.1f} nodes/sec\n"
         f"batched search: {batched_rate:10.1f} nodes/sec\n"
         f"speedup       : {speedup:10.1f} x   -> BENCH_optimal.json\n"
         f"Table 5 optimal column (10 loads, batched): {table5_seconds:.2f}s",
+    )
+
+
+#: The seeded-sweep measurement grid: a table5-style capacity study (the
+#: 2-battery B1 family under paper loads) dense enough near full capacity
+#: that each completed search's schedule transfers well into the next
+#: point's incumbent.  The loads are the ones whose heuristic-to-optimal
+#: gap leaves the incumbent cutoff real work to do; on loads where
+#: best-of-two is already optimal (e.g. ILs 250) the bound certification
+#: floor dominates and no admissible incumbent can prune it.
+SEED_GRID_SCALES = (0.85, 0.9, 0.925, 0.95, 0.975, 1.0)
+SEED_GRID_LOADS = ("CL alt", "ILs alt", "IL` 500")
+
+
+@pytest.mark.benchmark(group="optimal")
+def test_seeded_sweep_prunes_nodes_with_identical_results(b1):
+    """Spec-level dominance pruning: seeded-vs-fresh sweep node counts.
+
+    Runs the capacity-grid campaign twice through the SweepRunner -- with
+    cross-grid-point incumbent seeding (the default) and without -- and
+    records the expanded-node totals in ``BENCH_optimal.json``.  Node
+    counts are deterministic (no timing noise), so the recorded ratio is
+    exactly reproducible for a given code revision; the acceptance bar is
+    >= 20% fewer nodes with bitwise-identical sweep results.
+    """
+    spec = SweepSpec(
+        name="table5-capacity-grid",
+        batteries=battery_grid(
+            [round(b1.capacity * scale, 6) for scale in SEED_GRID_SCALES],
+            c=b1.c,
+            k_prime=b1.k_prime,
+        ),
+        loads=(LoadAxis.paper(list(SEED_GRID_LOADS)),),
+        policies=("sequential", "round-robin", "best-of-two"),
+    ).with_optimal()
+
+    started = time.perf_counter()
+    seeded = SweepRunner(None, seed_optimal=True).run(spec)
+    seeded_seconds = time.perf_counter() - started
+    fresh = SweepRunner(None, seed_optimal=False).run(spec)
+
+    # The invariant first: pruning work must not move a single bit of the
+    # results.
+    for field in ("lifetimes", "decisions", "residual_charge"):
+        np.testing.assert_array_equal(
+            getattr(seeded, field)["optimal"], getattr(fresh, field)["optimal"]
+        )
+    np.testing.assert_array_equal(
+        seeded.complete["optimal"], fresh.complete["optimal"]
+    )
+    assert seeded.complete["optimal"].all()
+
+    seeded_nodes = int(seeded.nodes["optimal"].sum())
+    fresh_nodes = int(fresh.nodes["optimal"].sum())
+    ratio = fresh_nodes / seeded_nodes
+    assert seeded_nodes <= 0.8 * fresh_nodes, (
+        f"seeding saved only {1 - seeded_nodes / fresh_nodes:.1%} nodes "
+        f"({seeded_nodes} vs {fresh_nodes}); the bar is >= 20%"
+    )
+
+    update_bench_record(
+        {
+            "seeded_sweep_grid": {
+                "scales": list(SEED_GRID_SCALES),
+                "loads": list(SEED_GRID_LOADS),
+                "batteries": 2,
+            },
+            "seeded_sweep_nodes": seeded_nodes,
+            "fresh_sweep_nodes": fresh_nodes,
+            "seeded_sweep_seconds": round(seeded_seconds, 3),
+            "sweep_nodes_ratio": round(ratio, 3),
+        }
+    )
+    emit(
+        "Spec-level dominance pruning -- seeded vs fresh optimal sweeps "
+        "(table5-style capacity grid)",
+        f"fresh searches : {fresh_nodes:6d} nodes\n"
+        f"seeded searches: {seeded_nodes:6d} nodes "
+        f"({int(seeded.seeded['optimal'].sum())} of "
+        f"{seeded.nodes['optimal'].shape[0]} seeded)\n"
+        f"nodes ratio    : {ratio:6.3f} x fewer -> BENCH_optimal.json\n"
+        "sweep results bitwise identical (lifetimes, complete, decisions, "
+        "residual)",
     )

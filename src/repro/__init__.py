@@ -83,7 +83,7 @@ from repro.sweep import (
 )
 from repro.analysis.montecarlo import run_montecarlo
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "B1",

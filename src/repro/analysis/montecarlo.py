@@ -141,6 +141,9 @@ def run_montecarlo(
     loads: Optional[Sequence[Load]] = None,
     cache_dir: Optional[str] = None,
     model: Optional[str] = None,
+    time_step: float = 0.01,
+    charge_unit: float = 0.01,
+    dominance_tolerance: float = 0.005,
 ) -> MonteCarloResult:
     """Sample random loads and summarize the policy lifetimes on them.
 
@@ -189,6 +192,17 @@ def run_montecarlo(
             stored too (its node cap and merge tolerance are part of the
             spec hash), except on multiprocessing runs (``n_workers > 1``),
             which keep the scalar worker path and bypass the store.
+        time_step / charge_unit: dKiBaM discretization (minutes / Amin;
+            ``model="discrete"`` only).  Threaded through *every* execution
+            path -- batch kernels, inline scalar loops and the
+            multiprocessing workers alike (the workers silently ran the
+            default 0.01 grid once; that bug is regression-tested now).
+            Non-default grids bypass the result store on the discrete
+            model, whose sweep specs pin the reference discretization;
+            analytical runs ignore the knobs and keep their cache.
+        dominance_tolerance: state-merge tolerance (Amin) of the optimal
+            column's searches; the long-standing sweep default is half a
+            charge unit.  Part of the spec hash on store-routed runs.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known engines: {ENGINES}")
@@ -262,6 +276,14 @@ def run_montecarlo(
         and rng is None
         and all(isinstance(policy, str) for policy in policies)
         and not (optimal_requested and n_workers > 1)
+        # Sweep specs pin the reference discretization; a non-default grid
+        # must not alias the reference entries, so it runs store-less.
+        # Only the discrete model reads the grid -- analytical sweeps keep
+        # their cache whatever the (ignored) knobs say.
+        and (
+            backend != "discrete"
+            or (time_step == 0.01 and charge_unit == 0.01)
+        )
     )
 
     per_sample: Dict[str, List[float]] = {}
@@ -291,7 +313,10 @@ def run_montecarlo(
             backend=backend,
         )
         if optimal_requested:
-            spec = spec.with_optimal(max_nodes=optimal_max_nodes)
+            spec = spec.with_optimal(
+                max_nodes=optimal_max_nodes,
+                dominance_tolerance=dominance_tolerance,
+            )
         sweep_result = SweepRunner(ResultStore(cache_dir)).run(spec)
         for name in names:
             per_sample[name] = _require_lifetimes(
@@ -299,7 +324,12 @@ def run_montecarlo(
             )
     else:
         if engine == "batch" and sim_names:
-            simulator = BatchSimulator(params, backend=backend)
+            simulator = BatchSimulator(
+                params,
+                backend=backend,
+                time_step=time_step,
+                charge_unit=charge_unit,
+            )
             results = simulator.run_many(get_scenarios(), list(sim_policies))
             for name in sim_names:
                 per_sample[name] = _require_lifetimes(
@@ -313,11 +343,16 @@ def run_montecarlo(
                         "pass its registry name or a SchedulingPolicy instead"
                     )
                 if n_workers > 1 and isinstance(policy, str):
+                    # The worker partial binds *every* solver setting; the
+                    # discretization knobs were once dropped here, silently
+                    # running multiprocessing sweeps on the default grid.
                     worker = functools.partial(
                         simulate_lifetimes_chunk,
                         params=tuple(params),
                         policy_name=policy,
                         backend=backend,
+                        time_step=time_step,
+                        charge_unit=charge_unit,
                     )
                     lifetimes = run_chunked(
                         worker, get_scenarios().loads, n_workers=n_workers
@@ -326,7 +361,14 @@ def run_montecarlo(
                     # Policy objects are not safely picklable (state, custom
                     # classes), so they always run inline.
                     lifetimes = [
-                        simulate_policy(params, load, policy, backend=backend).lifetime
+                        simulate_policy(
+                            params,
+                            load,
+                            policy,
+                            backend=backend,
+                            time_step=time_step,
+                            charge_unit=charge_unit,
+                        ).lifetime
                         for load in get_scenarios().loads
                     ]
                 per_sample[name] = _require_lifetimes(lifetimes, name)
@@ -338,6 +380,9 @@ def run_montecarlo(
                     params=tuple(params),
                     backend=backend,
                     max_nodes=optimal_max_nodes,
+                    dominance_tolerance=dominance_tolerance,
+                    time_step=time_step,
+                    charge_unit=charge_unit,
                 )
                 optima = run_chunked(
                     worker, get_scenarios().loads, n_workers=n_workers
@@ -352,6 +397,9 @@ def run_montecarlo(
                         params,
                         model=backend,
                         max_nodes=optimal_max_nodes,
+                        dominance_tolerance=dominance_tolerance,
+                        time_step=time_step,
+                        charge_unit=charge_unit,
                     )
                 ]
             else:
@@ -360,7 +408,9 @@ def run_montecarlo(
                         params,
                         load,
                         backend=backend,
-                        dominance_tolerance=0.005,
+                        time_step=time_step,
+                        charge_unit=charge_unit,
+                        dominance_tolerance=dominance_tolerance,
                         max_nodes=optimal_max_nodes,
                     ).lifetime
                     for load in get_scenarios().loads

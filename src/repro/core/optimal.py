@@ -85,6 +85,16 @@ class OptimalScheduleResult:
 class DominanceArchive:
     """Per-decision-point dominance pruning shared by both optimal searches.
 
+    .. note:: Keep this implementation simple and scalar -- it is the
+       *golden reference* for the pruning semantics.  It accounts for ~86%
+       of the scalar search's runtime, which is exactly why the batched
+       search's :class:`repro.engine.optimal_batch.VectorDominanceArchive`
+       exists as its array-backed hot-path counterpart (pinned
+       decision-for-decision against this class in
+       ``tests/test_optimal_batch.py``), and why the ``BENCH_optimal.json``
+       node-throughput ratio depends on this class staying the transparent
+       baseline rather than being optimized itself.
+
     Two mechanisms prune revisits of a decision point:
 
     * an O(1) duplicate check on the quantized (and, for identical

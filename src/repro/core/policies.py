@@ -197,10 +197,16 @@ class FixedAssignmentPolicy(SchedulingPolicy):
         if index < len(self.assignment):
             choice = self.assignment[index]
             if context.views[choice].is_empty:
-                raise ValueError(
+                error = ValueError(
                     f"fixed assignment chose battery {choice} at decision {index}, "
                     "but it is already empty"
                 )
+                # Structured location for callers that repair the
+                # assignment (the seeded optimal search truncates a foreign
+                # schedule at the failing decision instead of replaying
+                # one-shorter prefixes quadratically).
+                error.decision_index = index
+                raise error
             return choice
         return self._fallback.choose(context)
 

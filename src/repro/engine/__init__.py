@@ -31,6 +31,8 @@ from repro.engine.batch import VECTOR_MODELS, BatchResult, BatchSimulator
 from repro.engine.optimal_batch import (
     BATCH_OPTIMAL_MODELS,
     BatchOptimalScheduler,
+    DecisionTrace,
+    FrontierArrays,
     VectorDominanceArchive,
     discrete_segment_array,
     find_optimal_schedule_batched,
@@ -75,8 +77,10 @@ __all__ = [
     "BatchResult",
     "BatchSimulator",
     "ChunkedExecutor",
+    "DecisionTrace",
     "DiscreteKernelParams",
     "DiscreteScenarioArrays",
+    "FrontierArrays",
     "KernelParams",
     "ScenarioSet",
     "VECTOR_MODELS",

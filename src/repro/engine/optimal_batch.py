@@ -22,6 +22,22 @@ admissible lifetime bound (best-first) and processes them in batches:
   :class:`repro.core.optimal.DominanceArchive` unchanged, so the pruning
   semantics (and therefore soundness) are shared, not re-derived.
 
+The frontier itself is stored structure-of-arrays (:class:`FrontierArrays`):
+preallocated, grow-by-doubling state/bookkeeping column pools with a
+free-list of recycled rows, plus an append-only :class:`DecisionTrace`
+encoding each node's assignment as ``(parent, choice)`` integers.  The heap
+orders integer *slots*, expansion gathers and scatters index slices of the
+column arrays, and no per-node Python state objects or per-child assignment
+tuples are built -- the former re-copying hot spot of the per-round node
+stacking.
+
+Searches can also be *seeded* with a neighboring problem's winning
+assignment (``seed_assignment``): the seed is replayed on the search's own
+batteries, so its lifetime is genuinely achievable and only raises the
+incumbent cutoff -- :class:`repro.sweep.runner.SweepRunner` chains grid
+points of monotone battery sweeps this way (spec-level dominance pruning:
+less work, identical results).
+
 Parity contract with the scalar search: identical ``lifetime`` (to 1e-9
 minutes for the analytical model; *exactly*, tick for tick, for the
 discrete model, whose search state is all-integer) and identical
@@ -274,50 +290,113 @@ def discrete_segment_array(
 
 
 # --------------------------------------------------------------------- #
-# frontier nodes
+# frontier storage: structure-of-arrays pools
 # --------------------------------------------------------------------- #
-class _Node:
-    """One unexpanded decision node (analytical backend)."""
-
-    __slots__ = ("state", "sticky", "epoch", "offset", "time", "assignment")
-
-    def __init__(self, state, sticky, epoch, offset, time, assignment):
-        self.state = state  # (n_batteries, 2) float64 (gamma, delta)
-        self.sticky = sticky  # (n_batteries,) bool: observed empty
-        self.epoch = epoch  # int epoch index
-        self.offset = offset  # float minutes into the epoch
-        self.time = time  # float absolute minutes
-        self.assignment = assignment  # tuple of battery choices so far
+#: Initial row capacity of the frontier pools; grown by doubling.
+_POOL_CAPACITY = 256
 
 
-class _DNode:
-    """One unexpanded decision node (discrete backend; all integers)."""
+class FrontierArrays:
+    """Preallocated, grow-by-doubling structure-of-arrays node storage.
 
-    __slots__ = ("units", "empty", "epoch", "offset", "time", "assignment")
+    Columns are declared once as ``name -> (trailing_shape, dtype)``;
+    frontier nodes are *rows*, addressed by the integer slots handed out by
+    :meth:`allocate` and recycled through a free-list by :meth:`release`.
+    When the free-list runs dry every column doubles in place (amortized
+    O(1) per node), so the search's expansion, bound evaluation and
+    dominance checks all operate on index slices of a handful of stable
+    flat arrays instead of stacking and re-copying per-node state objects
+    every round (the former hot spot of the batched search).
+    """
 
-    def __init__(self, units, empty, epoch, offset, time, assignment):
-        self.units = units  # (6, n_batteries) int64: n, m, recov, acc, rate
-        self.empty = empty  # (n_batteries,) bool: observed empty
-        self.epoch = epoch  # int epoch index
-        self.offset = offset  # int ticks into the epoch
-        self.time = time  # int absolute ticks
-        self.assignment = assignment
+    def __init__(self, columns, capacity: int = _POOL_CAPACITY) -> None:
+        self._names = tuple(columns)
+        self.capacity = int(capacity)
+        for name, (shape, dtype) in columns.items():
+            setattr(
+                self, name, np.zeros((self.capacity, *shape), dtype=dtype)
+            )
+        self._free = list(range(self.capacity - 1, -1, -1))
+
+    def allocate(self, count: int) -> np.ndarray:
+        """Hand out ``count`` free slots, growing the pool as needed."""
+        if count <= 0:
+            # Guard the slice arithmetic: ``self._free[-0:]`` would hand
+            # out (and drop) the whole free-list.
+            return np.empty(0, dtype=np.int64)
+        while len(self._free) < count:
+            self._grow()
+        slots = self._free[-count:][::-1]
+        del self._free[-count:]
+        return np.asarray(slots, dtype=np.int64)
+
+    def release(self, slots) -> None:
+        """Return slots to the free-list (their rows become reusable)."""
+        self._free.extend(int(slot) for slot in np.atleast_1d(slots))
+
+    def _grow(self) -> None:
+        doubled = self.capacity * 2
+        for name in self._names:
+            old = getattr(self, name)
+            grown = np.zeros((doubled,) + old.shape[1:], dtype=old.dtype)
+            grown[: self.capacity] = old
+            setattr(self, name, grown)
+        self._free.extend(range(doubled - 1, self.capacity - 1, -1))
+        self.capacity = doubled
 
 
-#: Row indices into ``_DNode.units``.
+class DecisionTrace:
+    """Append-only ``(parent, choice)`` arrays encoding node assignments.
+
+    Every decision node references one trace entry; the entry's parent is
+    the trace id of the node it was branched from (``-1`` for the root), so
+    recording a child costs two int64 appends instead of copying the whole
+    assignment tuple per node.  Entries are never freed -- they are two
+    integers each, and candidate recording needs ancestors of pruned slots
+    -- and the full assignment is only reconstructed (by walking parents
+    backwards) for the rare candidate that improves the incumbent.
+    """
+
+    def __init__(self, capacity: int = _POOL_CAPACITY) -> None:
+        self.parent = np.full(capacity, -1, dtype=np.int64)
+        self.choice = np.full(capacity, -1, dtype=np.int64)
+        self.size = 0
+
+    def append(self, parents: np.ndarray, choices: np.ndarray) -> np.ndarray:
+        count = parents.shape[0]
+        while self.size + count > self.parent.shape[0]:
+            self.parent = np.concatenate([self.parent, np.full_like(self.parent, -1)])
+            self.choice = np.concatenate([self.choice, np.full_like(self.choice, -1)])
+        ids = np.arange(self.size, self.size + count, dtype=np.int64)
+        self.parent[ids] = parents
+        self.choice[ids] = choices
+        self.size += count
+        return ids
+
+    def assignment(self, trace_id: int) -> Tuple[int, ...]:
+        """The battery-choice tuple encoded by one trace entry's ancestry."""
+        choices = []
+        node = int(trace_id)
+        while node >= 0:
+            choices.append(int(self.choice[node]))
+            node = int(self.parent[node])
+        return tuple(reversed(choices))
+
+
+#: Row indices into the discrete backend's ``units`` column.
 _N_ROW, _M_ROW, _REC_ROW, _ACC_ROW, _RCUR_ROW, _RCT_ROW = range(6)
 
 
 class _Child:
     """A decision-point child ready for pruning and frontier insertion."""
 
-    __slots__ = ("node", "bound_total", "key", "matrix")
+    __slots__ = ("slot", "bound_total", "key", "matrix")
 
-    def __init__(self, node, bound_total, key, matrix):
-        self.node = node
+    def __init__(self, slot, bound_total, key, matrix):
+        self.slot = slot  # frontier-pool slot holding the node state
         self.bound_total = bound_total  # node time + remaining bound, minutes
         self.key = key  # decision-point key for the dominance archive
-        self.matrix = matrix  # dominance matrix (tuple of tuples)
+        self.matrix = matrix  # dominance matrix, (n_batteries, n_components)
 
 
 def _pooling_parameters(
@@ -483,7 +562,14 @@ class _BoundEvaluator:
 # analytical backend ops
 # --------------------------------------------------------------------- #
 class _AnalyticalOps:
-    """Vectorized node advances and bounds for the analytical KiBaM."""
+    """Vectorized node advances and bounds for the analytical KiBaM.
+
+    Frontier nodes live in a :class:`FrontierArrays` pool (one float state
+    column plus scalar bookkeeping columns) and are addressed by slot;
+    children in flight between :meth:`branch` and :meth:`prepare` travel as
+    flat column dicts and only claim a pool slot once they survive the
+    bound prune.
+    """
 
     model = "analytical"
 
@@ -502,30 +588,51 @@ class _AnalyticalOps:
         self.bounds = _BoundEvaluator(
             params, self.currents, self.durations, bound_slack=0.0
         )
+        self.pool = FrontierArrays(
+            {
+                "state": ((self.n_batteries, 2), np.float64),
+                "sticky": ((self.n_batteries,), np.bool_),
+                "epoch": ((), np.int64),
+                "offset": ((), np.float64),
+                "time": ((), np.float64),
+                "trace": ((), np.int64),
+            }
+        )
+        self.trace = DecisionTrace()
 
-    def root(self) -> _Node:
-        state = np.zeros((self.n_batteries, 2), dtype=np.float64)
-        state[:, GAMMA] = self.kp.capacity
-        sticky = np.zeros(self.n_batteries, dtype=bool)
-        return _Node(state, sticky, 0, 0.0, 0.0, ())
+    def root_batch(self):
+        """The root decision node as a one-row in-flight column batch."""
+        state = np.zeros((1, self.n_batteries, 2), dtype=np.float64)
+        state[:, :, GAMMA] = self.kp.capacity
+        return {
+            "state": state,
+            "sticky": np.zeros((1, self.n_batteries), dtype=bool),
+            "epoch": np.zeros(1, dtype=np.int64),
+            "offset": np.zeros(1, dtype=np.float64),
+            "time": np.zeros(1, dtype=np.float64),
+            "trace": np.full(1, -1, dtype=np.int64),
+        }
 
     def candidate_lifetime(self, time) -> float:
         return float(time)
 
     # -- expansion ------------------------------------------------------ #
-    def branch(self, nodes: Sequence[_Node]):
-        """Expand a batch of decision nodes into raw children.
+    def branch(self, slots: np.ndarray):
+        """Expand a batch of frontier slots into raw children.
 
         Returns ``(candidates, children)`` where candidates are
-        ``(lifetime, assignment)`` pairs for children whose last battery
-        died, and children are raw :class:`_Node` objects that still need
-        :meth:`prepare` (idle-epoch advance, bound, dominance).
+        ``(lifetime, trace_id)`` pairs for children whose last battery
+        died, and children is an in-flight column batch that still needs
+        :meth:`prepare` (idle-epoch advance, bound, dominance).  The
+        caller releases the parent slots afterwards.
         """
-        S = np.stack([n.state for n in nodes])
-        sticky = np.stack([n.sticky for n in nodes])
-        epoch = np.array([n.epoch for n in nodes], dtype=np.int64)
-        offset = np.array([n.offset for n in nodes])
-        time = np.array([n.time for n in nodes])
+        pool = self.pool
+        S = pool.state[slots]
+        sticky = pool.sticky[slots]
+        epoch = pool.epoch[slots]
+        offset = pool.offset[slots]
+        time = pool.time[slots]
+        trace = pool.trace[slots]
         c = self.kp.c
         margin = S[:, :, GAMMA] - (1.0 - c) * S[:, :, DELTA]
         alive = (~sticky) & (margin > _EMPTY_TOLERANCE)
@@ -533,12 +640,12 @@ class _AnalyticalOps:
 
         parents: List[int] = []
         choices: List[int] = []
-        for i, node in enumerate(nodes):
+        for i in range(slots.shape[0]):
             usable = np.flatnonzero(alive[i]).tolist()
             # Most available charge first; ``sorted`` is stable, so ties
             # keep index order -- identical to the scalar ordering.
             ordered = sorted(usable, key=lambda j: -avail[i, j])
-            if self.symmetric and node.offset == 0.0 and node.time == 0.0:
+            if self.symmetric and offset[i] == 0.0 and time[i] == 0.0:
                 # All batteries are full at the very first decision:
                 # exploring more than one of them is redundant.
                 ordered = ordered[:1]
@@ -546,7 +653,7 @@ class _AnalyticalOps:
                 parents.append(i)
                 choices.append(j)
         if not parents:
-            return [], []
+            return [], None
         par = np.asarray(parents, dtype=np.int64)
         cho = np.asarray(choices, dtype=np.int64)
         P = par.shape[0]
@@ -577,46 +684,47 @@ class _AnalyticalOps:
         mid = crossed & (remaining - span > _TIME_EPSILON)
         child_epoch = np.where(mid, epoch[par], epoch[par] + 1)
         child_offset = np.where(mid, offset[par] + span, 0.0)
+        child_trace = self.trace.append(trace[par], cho)
 
         child_margin = child_state[:, :, GAMMA] - (1.0 - c) * child_state[:, :, DELTA]
         alive_after = (~child_sticky) & (child_margin > _EMPTY_TOLERANCE)
         dead = crossed & ~alive_after.any(axis=1)
 
-        candidates = []
-        children = []
-        for p in range(P):
-            assignment = nodes[par[p]].assignment + (int(cho[p]),)
-            if dead[p]:
-                candidates.append((float(child_time[p]), assignment))
-            else:
-                children.append(
-                    _Node(
-                        child_state[p],
-                        child_sticky[p],
-                        int(child_epoch[p]),
-                        float(child_offset[p]),
-                        float(child_time[p]),
-                        assignment,
-                    )
-                )
+        candidates = [
+            (float(child_time[p]), int(child_trace[p]))
+            for p in np.flatnonzero(dead)
+        ]
+        live = np.flatnonzero(~dead)
+        if live.size == 0:
+            return candidates, None
+        children = {
+            "state": child_state[live],
+            "sticky": child_sticky[live],
+            "epoch": child_epoch[live],
+            "offset": child_offset[live],
+            "time": child_time[live],
+            "trace": child_trace[live],
+        }
         return candidates, children
 
     # -- decision-point preparation ------------------------------------- #
-    def prepare(self, children: Sequence[_Node], best_lifetime: float):
+    def prepare(self, children, best_lifetime: float):
         """Advance raw children to their next decision point and bound them.
 
         Returns ``(candidates, ready)``: candidates for children that
         survived the load or died at a job arrival, and :class:`_Child`
-        records (bound-pruned already) for the rest.
+        records (bound-pruned already, states parked in pool slots) for
+        the rest.
         """
-        if not children:
+        if children is None:
             return [], []
-        K = len(children)
-        S = np.stack([n.state for n in children])
-        sticky = np.stack([n.sticky for n in children])
-        epoch = np.array([n.epoch for n in children], dtype=np.int64)
-        offset = np.array([n.offset for n in children])
-        time = np.array([n.time for n in children])
+        S = children["state"]
+        sticky = children["sticky"]
+        epoch = children["epoch"]
+        offset = children["offset"]
+        time = children["time"]
+        trace = children["trace"]
+        K = S.shape[0]
         c = self.kp.c
 
         candidates = []
@@ -627,7 +735,7 @@ class _AnalyticalOps:
             for p in pending[exhausted]:
                 # The batteries survived the load; the load end is the
                 # observed lifetime (scalar semantics).
-                candidates.append((float(time[p]), children[p].assignment))
+                candidates.append((float(time[p]), int(trace[p])))
             rest = pending[~exhausted]
             if rest.size == 0:
                 break
@@ -656,7 +764,7 @@ class _AnalyticalOps:
         for p in d[~any_alive]:
             # A job arrived and no battery can serve it: the system died
             # the moment the previous span ended.
-            candidates.append((float(time[p]), children[p].assignment))
+            candidates.append((float(time[p]), int(trace[p])))
         live = d[any_alive]
         if live.size == 0:
             return candidates, []
@@ -677,24 +785,28 @@ class _AnalyticalOps:
             )
         totals = time[live] + remaining
 
-        matrices = self._matrices(S[live], sticky[live])
-        ready = []
-        for row, p in enumerate(live):
-            if totals[row] <= best_lifetime + _TIME_EPSILON:
-                continue
-            node = children[p]
-            node.state = S[p]
-            node.epoch = int(epoch[p])
-            node.offset = float(offset[p])
-            node.time = float(time[p])
-            ready.append(
-                _Child(
-                    node,
-                    float(totals[row]),
-                    (int(epoch[p]), round(float(offset[p]), 9)),
-                    matrices[row],
-                )
+        keep = np.flatnonzero(totals > best_lifetime + _TIME_EPSILON)
+        if keep.size == 0:
+            return candidates, []
+        kept = live[keep]
+        matrices = self._matrices(S[kept], sticky[kept])
+        pool = self.pool
+        slots = pool.allocate(kept.size)
+        pool.state[slots] = S[kept]
+        pool.sticky[slots] = sticky[kept]
+        pool.epoch[slots] = epoch[kept]
+        pool.offset[slots] = offset[kept]
+        pool.time[slots] = time[kept]
+        pool.trace[slots] = trace[kept]
+        ready = [
+            _Child(
+                int(slots[row]),
+                float(totals[keep[row]]),
+                (int(epoch[p]), round(float(offset[p]), 9)),
+                matrices[row],
             )
+            for row, p in enumerate(kept)
+        ]
         return candidates, ready
 
     def _matrices(self, states: np.ndarray, sticky: np.ndarray) -> np.ndarray:
@@ -766,13 +878,31 @@ class _DiscreteOps:
             self.durations,
             bound_slack=discrete_bound_slack_for(time_step, charge_unit),
         )
+        self.pool = FrontierArrays(
+            {
+                "units": ((6, self.n_batteries), np.int64),
+                "empty": ((self.n_batteries,), np.bool_),
+                "epoch": ((), np.int64),
+                "offset": ((), np.int64),
+                "time": ((), np.int64),
+                "trace": ((), np.int64),
+            }
+        )
+        self.trace = DecisionTrace()
 
-    def root(self) -> _DNode:
-        units = np.zeros((6, self.n_batteries), dtype=np.int64)
-        units[_N_ROW] = self.dp.total_units
-        units[_RCT_ROW] = 1
-        empty = np.zeros(self.n_batteries, dtype=bool)
-        return _DNode(units, empty, 0, 0, 0, ())
+    def root_batch(self):
+        """The root decision node as a one-row in-flight column batch."""
+        units = np.zeros((1, 6, self.n_batteries), dtype=np.int64)
+        units[:, _N_ROW] = self.dp.total_units
+        units[:, _RCT_ROW] = 1
+        return {
+            "units": units,
+            "empty": np.zeros((1, self.n_batteries), dtype=bool),
+            "epoch": np.zeros(1, dtype=np.int64),
+            "offset": np.zeros(1, dtype=np.int64),
+            "time": np.zeros(1, dtype=np.int64),
+            "trace": np.full(1, -1, dtype=np.int64),
+        }
 
     def candidate_lifetime(self, time) -> float:
         return float(time) * self.time_step
@@ -782,12 +912,14 @@ class _DiscreteOps:
         return (~empty) & (~crit)
 
     # -- expansion ------------------------------------------------------ #
-    def branch(self, nodes: Sequence[_DNode]):
-        U = np.stack([n.units for n in nodes])  # (K, 6, B)
-        empty = np.stack([n.empty for n in nodes])
-        epoch = np.array([n.epoch for n in nodes], dtype=np.int64)
-        offset = np.array([n.offset for n in nodes], dtype=np.int64)
-        time = np.array([n.time for n in nodes], dtype=np.int64)
+    def branch(self, slots: np.ndarray):
+        pool = self.pool
+        U = pool.units[slots]  # (K, 6, B)
+        empty = pool.empty[slots]
+        epoch = pool.epoch[slots]
+        offset = pool.offset[slots]
+        time = pool.time[slots]
+        trace = pool.trace[slots]
         alive = self._alive(U, empty)
         gamma = U[:, _N_ROW, :] * self.charge_unit
         delta = U[:, _M_ROW, :] * self.height_unit
@@ -795,16 +927,16 @@ class _DiscreteOps:
 
         parents: List[int] = []
         choices: List[int] = []
-        for i, node in enumerate(nodes):
+        for i in range(slots.shape[0]):
             usable = np.flatnonzero(alive[i]).tolist()
             ordered = sorted(usable, key=lambda j: -avail[i, j])
-            if self.symmetric and node.offset == 0 and node.time == 0:
+            if self.symmetric and offset[i] == 0 and time[i] == 0:
                 ordered = ordered[:1]
             for j in ordered:
                 parents.append(i)
                 choices.append(j)
         if not parents:
-            return [], []
+            return [], None
         par = np.asarray(parents, dtype=np.int64)
         cho = np.asarray(choices, dtype=np.int64)
         P = par.shape[0]
@@ -865,40 +997,38 @@ class _DiscreteOps:
         mid = emptied & (remaining - span > 0)
         child_epoch = np.where(mid, epoch[par], epoch[par] + 1)
         child_offset = np.where(mid, offset[par] + span, 0)
+        child_trace = self.trace.append(trace[par], cho)
         alive_after = self._alive(child_U, child_empty)
         dead = emptied & ~alive_after.any(axis=1)
 
-        candidates = []
-        children = []
-        for p in range(P):
-            assignment = nodes[par[p]].assignment + (int(cho[p]),)
-            if dead[p]:
-                candidates.append(
-                    (self.candidate_lifetime(child_time[p]), assignment)
-                )
-            else:
-                children.append(
-                    _DNode(
-                        child_U[p],
-                        child_empty[p],
-                        int(child_epoch[p]),
-                        int(child_offset[p]),
-                        int(child_time[p]),
-                        assignment,
-                    )
-                )
+        candidates = [
+            (self.candidate_lifetime(child_time[p]), int(child_trace[p]))
+            for p in np.flatnonzero(dead)
+        ]
+        live = np.flatnonzero(~dead)
+        if live.size == 0:
+            return candidates, None
+        children = {
+            "units": child_U[live],
+            "empty": child_empty[live],
+            "epoch": child_epoch[live],
+            "offset": child_offset[live],
+            "time": child_time[live],
+            "trace": child_trace[live],
+        }
         return candidates, children
 
     # -- decision-point preparation ------------------------------------- #
-    def prepare(self, children: Sequence[_DNode], best_lifetime: float):
-        if not children:
+    def prepare(self, children, best_lifetime: float):
+        if children is None:
             return [], []
-        K = len(children)
-        U = np.stack([n.units for n in children])
-        empty = np.stack([n.empty for n in children])
-        epoch = np.array([n.epoch for n in children], dtype=np.int64)
-        offset = np.array([n.offset for n in children], dtype=np.int64)
-        time = np.array([n.time for n in children], dtype=np.int64)
+        U = children["units"]
+        empty = children["empty"]
+        epoch = children["epoch"]
+        offset = children["offset"]
+        time = children["time"]
+        trace = children["trace"]
+        K = U.shape[0]
 
         candidates = []
         decided: List[int] = []
@@ -907,7 +1037,7 @@ class _DiscreteOps:
             exhausted = epoch[pending] >= self.n_epochs
             for p in pending[exhausted]:
                 candidates.append(
-                    (self.candidate_lifetime(time[p]), children[p].assignment)
+                    (self.candidate_lifetime(time[p]), int(trace[p]))
                 )
             rest = pending[~exhausted]
             if rest.size == 0:
@@ -953,7 +1083,7 @@ class _DiscreteOps:
         any_alive = alive.any(axis=1)
         for p in d[~any_alive]:
             candidates.append(
-                (self.candidate_lifetime(time[p]), children[p].assignment)
+                (self.candidate_lifetime(time[p]), int(trace[p]))
             )
         live = d[any_alive]
         if live.size == 0:
@@ -980,24 +1110,28 @@ class _DiscreteOps:
             )
         totals = time[live] * self.time_step + remaining
 
-        matrices = self._matrices(U[live], empty[live])
-        ready = []
-        for row, p in enumerate(live):
-            if totals[row] <= best_lifetime + _TIME_EPSILON:
-                continue
-            node = children[p]
-            node.units = U[p]
-            node.epoch = int(epoch[p])
-            node.offset = int(offset[p])
-            node.time = int(time[p])
-            ready.append(
-                _Child(
-                    node,
-                    float(totals[row]),
-                    (int(epoch[p]), int(offset[p])),
-                    matrices[row],
-                )
+        keep = np.flatnonzero(totals > best_lifetime + _TIME_EPSILON)
+        if keep.size == 0:
+            return candidates, []
+        kept = live[keep]
+        matrices = self._matrices(U[kept], empty[kept])
+        pool = self.pool
+        slots = pool.allocate(kept.size)
+        pool.units[slots] = U[kept]
+        pool.empty[slots] = empty[kept]
+        pool.epoch[slots] = epoch[kept]
+        pool.offset[slots] = offset[kept]
+        pool.time[slots] = time[kept]
+        pool.trace[slots] = trace[kept]
+        ready = [
+            _Child(
+                int(slots[row]),
+                float(totals[keep[row]]),
+                (int(epoch[p]), int(offset[p])),
+                matrices[row],
             )
+            for row, p in enumerate(kept)
+        ]
         return candidates, ready
 
     def _matrices(self, units: np.ndarray, empty: np.ndarray) -> np.ndarray:
@@ -1095,8 +1229,24 @@ class BatchOptimalScheduler:
     def search(
         self,
         incumbent_policies: Sequence[str] = ("sequential", "round-robin", "best-of-two"),
+        seed_assignment: Optional[Sequence[int]] = None,
     ) -> OptimalScheduleResult:
-        """Run the batched search and return the optimal schedule."""
+        """Run the batched search and return the optimal schedule.
+
+        Args:
+            incumbent_policies: heuristic policies simulated up front to
+                provide the initial incumbent (and pruning cutoff).
+            seed_assignment: optional battery-choice sequence from a
+                neighboring search (e.g. the previous grid point of a
+                capacity sweep).  It is *replayed on this search's own
+                batteries* through the scalar simulator, so the resulting
+                lifetime is genuinely achievable here and seeding is an
+                admissible incumbent regardless of where the assignment
+                came from: it can only raise the pruning cutoff, never
+                change which schedules are reachable.  A seed that is not
+                replayable on these batteries (its decision points do not
+                line up) is silently ignored.
+        """
         models = make_battery_models(
             self.params,
             backend=self.model,
@@ -1120,37 +1270,87 @@ class BatchOptimalScheduler:
                     for entry in result.schedule.entries
                     if entry.battery is not None
                 )
+        if seed_assignment is not None:
+            # The seed's decision points shift with the battery parameters,
+            # so the raw assignment is not always its own best translation:
+            # a few tail truncations are tried as well (the replay's
+            # best-available fallback covers the dropped tail), and a seed
+            # whose tail points at an already-empty battery truncates until
+            # it replays.  Every variant is an actual schedule of *these*
+            # batteries, so taking the best replay is always admissible.
+            seed = tuple(seed_assignment)
+            variants = [seed[: len(seed) - cut] for cut in range(3) if len(seed) > cut]
+            best_replay = None
+            while variants:
+                candidate = variants.pop(0)
+                try:
+                    result = simulator.run(
+                        self.load, FixedAssignmentPolicy(candidate)
+                    )
+                except ValueError as error:
+                    # Cut at the failing decision (not one-by-one from the
+                    # tail): the exception names where the foreign schedule
+                    # stopped replaying, so one retry per failure point.
+                    failed_at = getattr(error, "decision_index", len(candidate) - 1)
+                    truncated = candidate[:failed_at]
+                    if truncated and truncated not in variants:
+                        variants.append(truncated)
+                    continue
+                lifetime = (
+                    result.lifetime
+                    if result.lifetime is not None
+                    else self.load.total_duration
+                )
+                if best_replay is None or lifetime > best_replay[0]:
+                    best_replay = (lifetime, result)
+            if best_replay is not None:
+                lifetime, result = best_replay
+                # Strictly better only: on ties the heuristic incumbent is
+                # kept, exactly as an unseeded search would report it.
+                if lifetime > self._best_lifetime:
+                    self._best_lifetime = lifetime
+                    incumbent_name = "seed"
+                    self._best_assignment = tuple(
+                        entry.battery
+                        for entry in result.schedule.entries
+                        if entry.battery is not None
+                    )
 
         counter = itertools.count()
         heap: List = []
+        pool = self._ops.pool
 
         def admit(children) -> None:
             for child in children:
                 if child.bound_total <= self._best_lifetime + _TIME_EPSILON:
+                    pool.release(child.slot)
                     continue
                 if self.use_dominance and not self._archive.admit(
                     child.key, child.matrix
                 ):
+                    pool.release(child.slot)
                     continue
                 heapq.heappush(
                     heap,
-                    (-child.bound_total, next(counter), child.bound_total, child.node),
+                    (-child.bound_total, next(counter), child.bound_total, child.slot),
                 )
 
-        candidates, ready = self._ops.prepare([self._ops.root()], self._best_lifetime)
+        candidates, ready = self._ops.prepare(
+            self._ops.root_batch(), self._best_lifetime
+        )
         self._record(candidates)
         admit(ready)
 
         while heap:
-            batch = []
+            batch: List[int] = []
             while heap and len(batch) < self.batch_size:
-                _, _, bound_total, node = heapq.heappop(heap)
+                _, _, bound_total, slot = heapq.heappop(heap)
                 if bound_total <= self._best_lifetime + _TIME_EPSILON:
                     # The frontier is bound-ordered: once the best bound
                     # cannot beat the incumbent, nothing on the heap can.
                     heap.clear()
                     break
-                batch.append(node)
+                batch.append(slot)
             if not batch:
                 break
             if self.max_nodes is not None:
@@ -1163,7 +1363,9 @@ class BatchOptimalScheduler:
                     if not batch:
                         break
             self._nodes_expanded += len(batch)
-            candidates, children = self._ops.branch(batch)
+            slots = np.asarray(batch, dtype=np.int64)
+            candidates, children = self._ops.branch(slots)
+            pool.release(slots)
             self._record(candidates)
             candidates, ready = self._ops.prepare(children, self._best_lifetime)
             self._record(candidates)
@@ -1190,10 +1392,13 @@ class BatchOptimalScheduler:
         )
 
     def _record(self, candidates) -> None:
-        for lifetime, assignment in candidates:
+        for lifetime, trace_id in candidates:
             if lifetime > self._best_lifetime + _TIME_EPSILON:
                 self._best_lifetime = lifetime
-                self._best_assignment = assignment
+                # Reconstructing the assignment walks the decision trace
+                # backwards; it only happens for improving candidates, so
+                # the cost is O(depth) a handful of times per search.
+                self._best_assignment = self._ops.trace.assignment(trace_id)
 
 
 # --------------------------------------------------------------------- #
@@ -1210,11 +1415,14 @@ def find_optimal_schedule_batched(
     use_dominance: bool = True,
     dominance_tolerance: float = 0.0,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    seed_assignment: Optional[Sequence[int]] = None,
 ) -> OptimalScheduleResult:
     """Batched counterpart of :func:`repro.core.optimal.find_optimal_schedule`.
 
     Same semantics and result type; models without a vectorized kernel
-    (``"linear"``) transparently fall back to the scalar search.
+    (``"linear"``) transparently fall back to the scalar search (which
+    ignores ``seed_assignment`` -- seeding is a pure pruning optimization,
+    see :meth:`BatchOptimalScheduler.search`).
     """
     resolved = resolve_model(model, backend)
     if resolved not in BATCH_OPTIMAL_MODELS:
@@ -1242,7 +1450,7 @@ def find_optimal_schedule_batched(
         dominance_tolerance=dominance_tolerance,
         batch_size=batch_size,
     )
-    return scheduler.search()
+    return scheduler.search(seed_assignment=seed_assignment)
 
 
 def optimal_schedules_batch(
@@ -1254,6 +1462,7 @@ def optimal_schedules_batch(
     max_nodes: Optional[int] = 20_000,
     dominance_tolerance: float = 0.005,
     scalar_fallback: bool = True,
+    seed_assignment: Optional[Sequence[int]] = None,
 ) -> List[OptimalScheduleResult]:
     """One batched optimal search per load, with the sweep-friendly defaults.
 
@@ -1277,7 +1486,18 @@ def optimal_schedules_batch(
     DFS can still miss a better schedule the batched frontier found --
     tolerance merging is order-dependent -- which is why the lifetime
     comparison comes first.)
+
+    ``seed_assignment`` (see :meth:`BatchOptimalScheduler.search`) seeds
+    every search in the list with a neighboring schedule; the sweep runner
+    passes one load per call, chaining each grid point's winner into the
+    next.  A *seeded search that hits its node cap is re-run without the
+    seed*: a capped search's outcome depends on which nodes fit in the
+    budget, so the fresh re-run (whose node work is still accounted in
+    ``nodes_expanded``) is what keeps the documented invariant that
+    seeding prunes work but never changes reported results, capped or not.
     """
+    import dataclasses
+
     from repro.engine.parallel import optimal_schedules_chunk
 
     results = []
@@ -1290,7 +1510,22 @@ def optimal_schedules_batch(
             charge_unit=charge_unit,
             max_nodes=max_nodes,
             dominance_tolerance=dominance_tolerance,
+            seed_assignment=seed_assignment,
         )
+        if seed_assignment is not None and not result.complete:
+            seeded_nodes = result.nodes_expanded
+            fresh = find_optimal_schedule_batched(
+                params,
+                load,
+                model=model,
+                time_step=time_step,
+                charge_unit=charge_unit,
+                max_nodes=max_nodes,
+                dominance_tolerance=dominance_tolerance,
+            )
+            result = dataclasses.replace(
+                fresh, nodes_expanded=fresh.nodes_expanded + seeded_nodes
+            )
         if scalar_fallback and not result.complete:
             scalar = optimal_schedules_chunk(
                 [load],

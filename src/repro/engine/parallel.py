@@ -68,23 +68,32 @@ def run_chunked(
     if chunk_size is None:
         chunk_size = max(1, (len(items) + workers - 1) // workers)
     bounds = _chunk_indices(len(items), chunk_size)
-    chunks = [items[start:stop] for start, stop in bounds]
 
-    if workers == 1 or len(chunks) == 1:
-        chunk_results = [worker(chunk) for chunk in chunks]
-    else:
-        with multiprocessing.Pool(processes=min(workers, len(chunks))) as pool:
-            chunk_results = pool.map(worker, chunks)
+    # Chunks are sliced lazily, one per dispatch, instead of materializing
+    # every chunk list up front (which doubled the peak reference count of
+    # large load sets and held all chunks alive for the whole map).  The
+    # inline path therefore keeps at most one chunk extant; the pool path
+    # feeds ``imap`` from a generator, which preserves submission order.
+    def sliced():
+        for start, stop in bounds:
+            yield items[start:stop]
 
     results: List[R] = []
-    for chunk, chunk_result in zip(chunks, chunk_results):
-        if len(chunk_result) != len(chunk):
-            raise ValueError(
-                f"worker returned {len(chunk_result)} results for a chunk of "
-                f"{len(chunk)} items"
-            )
-        results.extend(chunk_result)
-    return results
+
+    def collect(chunk_results) -> List[R]:
+        for (start, stop), chunk_result in zip(bounds, chunk_results):
+            if len(chunk_result) != stop - start:
+                raise ValueError(
+                    f"worker returned {len(chunk_result)} results for a "
+                    f"chunk of {stop - start} items"
+                )
+            results.extend(chunk_result)
+        return results
+
+    if workers == 1 or len(bounds) == 1:
+        return collect(worker(chunk) for chunk in sliced())
+    with multiprocessing.Pool(processes=min(workers, len(bounds))) as pool:
+        return collect(pool.imap(worker, sliced()))
 
 
 class ChunkedExecutor:
@@ -178,8 +187,17 @@ def optimal_lifetimes_chunk(
     backend: str = "analytical",
     max_nodes: Optional[int] = 20_000,
     dominance_tolerance: float = 0.005,
+    time_step: float = 0.01,
+    charge_unit: float = 0.01,
 ) -> List[float]:
-    """Worker: optimal-scheduler lifetimes for a chunk of loads."""
+    """Worker: optimal-scheduler lifetimes for a chunk of loads.
+
+    Accepts the full set of solver settings -- including the dKiBaM
+    discretization -- so multiprocessing callers can bind them into the
+    partial; a worker that silently fell back to the default 0.01 grid
+    while the inline path honored the caller's grid was a real (and
+    regression-tested) parity bug.
+    """
     return [
         result.lifetime
         for result in optimal_schedules_chunk(
@@ -188,5 +206,7 @@ def optimal_lifetimes_chunk(
             backend=backend,
             max_nodes=max_nodes,
             dominance_tolerance=dominance_tolerance,
+            time_step=time_step,
+            charge_unit=charge_unit,
         )
     ]

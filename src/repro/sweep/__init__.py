@@ -29,6 +29,7 @@ from repro.sweep.spec import (
     ScenarioPoint,
     SweepSpec,
     battery_grid,
+    optimal_seed_chains,
 )
 from repro.sweep.store import ResultStore, StoreEntry
 
@@ -46,4 +47,5 @@ __all__ = [
     "SweepTableRow",
     "battery_grid",
     "builtin_specs",
+    "optimal_seed_chains",
 ]

@@ -126,7 +126,9 @@ def _cmd_specs(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = _load_spec(args)
     store = ResultStore(args.store)
-    runner = SweepRunner(store)
+    runner = SweepRunner(
+        store, seed_optimal=not getattr(args, "no_optimal_seeding", False)
+    )
     progress = None if args.quiet else lambda line: print(f"  {line}")
     if not args.quiet:
         print(
@@ -249,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_store(run_parser)
     run_parser.add_argument(
         "--force", action="store_true", help="recompute chunks already stored"
+    )
+    run_parser.add_argument(
+        "--no-optimal-seeding",
+        action="store_true",
+        help="disable spec-level dominance pruning of the optimal column "
+        "(cross-grid-point incumbent seeding); results are identical either "
+        "way, seeding only reduces the expanded-node counts (note: cached "
+        "chunks keep the node accounting of the run that computed them -- "
+        "combine with --force to re-measure node counts)",
     )
     run_parser.add_argument(
         "--quiet", action="store_true", help="suppress per-chunk progress"

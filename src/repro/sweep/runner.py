@@ -18,6 +18,11 @@ first-class column: each scenario runs one batched branch-and-bound search
 (:mod:`repro.engine.optimal_batch`), per-scenario ``complete`` masks are
 stored alongside the lifetimes, and searches that hit the node cap fall
 back to the scalar depth-first worker for a better certified lower bound.
+Grid points that share a load and differ only along a monotone capacity
+axis are searched in ascending order, each completed search seeding the
+next point's incumbent (spec-level dominance pruning): expanded-node
+counts drop -- persisted per scenario as ``nodes``/``seeded`` -- while the
+reported lifetimes stay identical to an unseeded run.
 
 The aggregated :class:`SweepResult` keeps the raw per-scenario arrays and
 offers the ``analysis``-layer views: grouped rows (battery configuration x
@@ -34,7 +39,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.engine.batch import BatchSimulator
-from repro.sweep.spec import OPTIMAL_POLICY, ScenarioPoint, SweepSpec
+from repro.sweep.spec import (
+    OPTIMAL_POLICY,
+    ScenarioPoint,
+    SweepSpec,
+    optimal_seed_chains,
+)
 from repro.sweep.store import ResultStore
 from repro.engine.scenarios import ScenarioSet
 
@@ -91,6 +101,8 @@ class SweepResult:
         residual_charge: Dict[str, np.ndarray],
         stats: SweepStats,
         complete: Optional[Dict[str, np.ndarray]] = None,
+        nodes: Optional[Dict[str, np.ndarray]] = None,
+        seeded: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         self.spec = spec
         self.points = list(points)
@@ -102,6 +114,14 @@ class SweepResult:
         #: carries one (False where the branch-and-bound hit ``max_nodes``
         #: and its lifetime is a certified lower bound, not the optimum).
         self.complete = complete or {}
+        #: Per-policy expanded-node counts and cross-grid-point seeding
+        #: flags; only the ``optimal`` column carries them (``seeded`` is
+        #: True where the search's incumbent was seeded by a neighboring
+        #: grid point's schedule -- pure work accounting, the lifetimes are
+        #: identical either way).  Chunks stored before these fields
+        #: existed aggregate as zeros.
+        self.nodes = nodes or {}
+        self.seeded = seeded or {}
 
     def incomplete_counts(self) -> Dict[str, int]:
         """Number of non-certified (capped) searches per policy column."""
@@ -219,6 +239,15 @@ class SweepResult:
                 "!N = N searches hit max_nodes (complete=False): those "
                 "lifetimes are certified lower bounds, not proven optima"
             )
+        node_counts = self.nodes.get(OPTIMAL_POLICY)
+        if node_counts is not None and int(node_counts.sum()) > 0:
+            seeded_mask = self.seeded.get(OPTIMAL_POLICY)
+            n_seeded = int(seeded_mask.sum()) if seeded_mask is not None else 0
+            lines.append(
+                f"optimal search: {int(node_counts.sum()):,} nodes expanded "
+                f"over {node_counts.shape[0]} searches, {n_seeded} seeded by "
+                "a neighboring grid point (seeding prunes work, never results)"
+            )
         return "\n".join(lines)
 
 
@@ -228,10 +257,34 @@ class SweepRunner:
     Args:
         store: the content-addressed result store; ``None`` disables
             persistence entirely (every chunk is computed in memory).
+        seed_optimal: spec-level dominance pruning for the ``optimal``
+            column.  When on (the default), grid points sharing a load and
+            differing only along a monotone capacity axis are searched in
+            ascending order, each completed search seeding the next point's
+            incumbent and pooling-bound cutoff
+            (:func:`repro.sweep.spec.optimal_seed_chains`).  Seeding is an
+            admissible cross-point bound: it prunes search *work* -- the
+            per-scenario node counts and ``seeded`` flags are persisted
+            through the store -- but the reported lifetimes, completeness
+            masks and schedules are identical to an unseeded run, which is
+            why the flag lives on the runner and not in the (content-
+            hashed) spec.  Two consequences of that design: a cached chunk
+            is served whatever the flag says (the results are the same
+            either way; only the stored ``nodes``/``seeded`` accounting
+            reflects the run that *computed* the chunk -- pass ``force``
+            to re-measure), and the identity contract is pinned by tests
+            rather than re-checked at runtime (a divergence would need two
+            distinct schedules closer than the 1e-9 span epsilon yet
+            replaying to different floats; the nightly hypothesis property
+            and the benchmark's bitwise assertions watch for exactly
+            that).
     """
 
-    def __init__(self, store: Optional[ResultStore] = None) -> None:
+    def __init__(
+        self, store: Optional[ResultStore] = None, seed_optimal: bool = True
+    ) -> None:
         self.store = store
+        self.seed_optimal = seed_optimal
 
     def run(
         self,
@@ -277,6 +330,16 @@ class SweepRunner:
             if spec.has_optimal
             else {}
         )
+        nodes = (
+            {OPTIMAL_POLICY: np.zeros(len(points), dtype=np.int64)}
+            if spec.has_optimal
+            else {}
+        )
+        seeded = (
+            {OPTIMAL_POLICY: np.zeros(len(points), dtype=bool)}
+            if spec.has_optimal
+            else {}
+        )
 
         for chunk_index, (start, stop) in enumerate(bounds):
             cached = (
@@ -317,6 +380,10 @@ class SweepRunner:
                 residual[policy][start:stop] = fields["residual_charge"]
                 if policy in complete and "complete" in fields:
                     complete[policy][start:stop] = fields["complete"].astype(bool)
+                if policy in nodes and "nodes" in fields:
+                    nodes[policy][start:stop] = fields["nodes"]
+                if policy in seeded and "seeded" in fields:
+                    seeded[policy][start:stop] = fields["seeded"].astype(bool)
 
         stats.total_seconds = time.perf_counter() - started
         return SweepResult(
@@ -327,6 +394,8 @@ class SweepRunner:
             residual_charge=residual,
             stats=stats,
             complete=complete,
+            nodes=nodes,
+            seeded=seeded,
         )
 
     def load(self, spec: SweepSpec) -> SweepResult:
@@ -391,14 +460,22 @@ class SweepRunner:
         """Batched branch-and-bound per scenario, scalar-verified when capped.
 
         Every scenario runs one :class:`repro.engine.optimal_batch.
-        BatchOptimalScheduler` search.  The rare search that hits
-        ``max_nodes`` only certifies a lower bound; `optimal_schedules_batch`
-        re-drives those scenarios through the scalar depth-first worker
-        (:func:`repro.engine.parallel.optimal_schedules_chunk`, whose
-        incumbent goes deeper under the same node budget) and keeps the
-        better *whole* result -- lifetime, decision count and residual
-        charge stay mutually consistent -- upgrading to ``complete=True``
-        when the scalar search finishes within the budget.
+        BatchOptimalScheduler` search.  With :attr:`seed_optimal`, the
+        scenarios are processed chain by chain in the order planned by
+        :func:`repro.sweep.spec.optimal_seed_chains` (results are scattered
+        back into scenario order): within a chain each completed search's
+        winning assignment seeds the next search's incumbent, pruning its
+        frontier against the neighboring grid point's schedule from node
+        one.  The rare search that hits ``max_nodes`` only certifies a
+        lower bound; `optimal_schedules_batch` first re-runs a *seeded*
+        capped search without the seed (capped outcomes must not depend on
+        seeding) and then re-drives capped scenarios through the scalar
+        depth-first worker (:func:`repro.engine.parallel.
+        optimal_schedules_chunk`, whose incumbent goes deeper under the
+        same node budget), keeping the better *whole* result -- lifetime,
+        decision count and residual charge stay mutually consistent --
+        upgrading to ``complete=True`` when the scalar search finishes
+        within the budget.
         """
         from repro.engine.optimal_batch import optimal_schedules_batch
 
@@ -407,21 +484,39 @@ class SweepRunner:
         decisions = np.zeros(n, dtype=np.int64)
         residual = np.zeros(n)
         complete = np.ones(n, dtype=bool)
-        for index, point in enumerate(points):
-            result = optimal_schedules_batch(
-                [point.load],
-                point.battery_params,
-                model=spec.backend,
-                max_nodes=spec.optimal_max_nodes,
-                dominance_tolerance=spec.optimal_dominance_tolerance,
-            )[0]
-            lifetimes[index] = result.lifetime
-            decisions[index] = len(result.assignment)
-            residual[index] = result.residual_charge
-            complete[index] = result.complete
+        nodes = np.zeros(n, dtype=np.int64)
+        seeded = np.zeros(n, dtype=bool)
+        if self.seed_optimal:
+            chains = optimal_seed_chains(points)
+        else:
+            chains = [[index] for index in range(n)]
+        for chain in chains:
+            seed_assignment = None
+            for index in chain:
+                point = points[index]
+                result = optimal_schedules_batch(
+                    [point.load],
+                    point.battery_params,
+                    model=spec.backend,
+                    max_nodes=spec.optimal_max_nodes,
+                    dominance_tolerance=spec.optimal_dominance_tolerance,
+                    seed_assignment=seed_assignment,
+                )[0]
+                lifetimes[index] = result.lifetime
+                decisions[index] = len(result.assignment)
+                residual[index] = result.residual_charge
+                complete[index] = result.complete
+                nodes[index] = result.nodes_expanded
+                seeded[index] = seed_assignment is not None
+                # Only a completed search is worth chaining: a capped one
+                # may sit well below the point's optimum and would drag the
+                # next incumbent down.
+                seed_assignment = result.assignment if result.complete else None
         return {
             "lifetimes": lifetimes,
             "decisions": decisions,
             "residual_charge": residual,
             "complete": complete,
+            "nodes": nodes,
+            "seeded": seeded,
         }

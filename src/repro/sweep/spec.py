@@ -304,6 +304,79 @@ class ScenarioPoint:
     load: Optional[Load]
 
 
+def _seedable_step(
+    prev: Tuple[BatteryParameters, ...], cur: Tuple[BatteryParameters, ...]
+) -> bool:
+    """Whether ``prev``'s optimal schedule is a useful seed for ``cur``.
+
+    True when the two battery sets differ only along a monotone capacity
+    axis: same battery count, same ``(c, k')`` per slot, and every capacity
+    non-decreasing.  Under the KiBaM dynamics the height difference evolves
+    independently of the stored charge, so growing a capacity shifts the
+    empty margin up uniformly: any schedule of the smaller set replays on
+    the larger set at least as long, which makes the smaller point's
+    optimum a strong (and always admissible -- it is re-replayed on the
+    larger batteries) incumbent for the larger point's search.
+    """
+    if len(prev) != len(cur):
+        return False
+    return all(
+        a.c == b.c and a.k_prime == b.k_prime and a.capacity <= b.capacity
+        for a, b in zip(prev, cur)
+    )
+
+
+def optimal_seed_chains(points: Sequence["ScenarioPoint"]) -> List[List[int]]:
+    """Group scenario positions into seed-ordered processing chains.
+
+    Spec-level dominance pruning for the ``optimal`` column: positions of
+    ``points`` (indices into the given sequence) are grouped by identical
+    load, ordered by ascending capacity vector within each group, and split
+    wherever consecutive battery sets are not monotone-comparable
+    (:func:`_seedable_step`).  Each returned chain is processed in order by
+    the runner, every completed search seeding the next one's incumbent;
+    concatenated, the chains cover every position exactly once.  Ordering
+    only affects *how much work* each search does -- seeded and fresh
+    sweeps return identical results -- so the plan is deliberately not part
+    of the spec content hash.
+    """
+    order: List[Tuple] = []
+    groups: dict = {}
+    for position, point in enumerate(points):
+        if point.load is None:
+            # Label-only expansion (fully cached sweep): nothing to run.
+            key = ("label-only", position)
+        else:
+            key = (
+                point.load_label,
+                tuple((e.current, e.duration) for e in point.load.epochs),
+            )
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(position)
+
+    chains: List[List[int]] = []
+    for key in order:
+        members = sorted(
+            groups[key],
+            key=lambda position: tuple(
+                p.capacity for p in points[position].battery_params
+            ),
+        )
+        chain: List[int] = []
+        for position in members:
+            if chain and not _seedable_step(
+                points[chain[-1]].battery_params, points[position].battery_params
+            ):
+                chains.append(chain)
+                chain = []
+            chain.append(position)
+        if chain:
+            chains.append(chain)
+    return chains
+
+
 def _plain(value):
     """Recursively convert mappings/sequences to JSON-serializable plain types."""
     if isinstance(value, Mapping):

@@ -38,7 +38,9 @@ from repro.sweep.spec import SweepSpec
 #: Arrays every (chunk, policy) record must carry; matches the BatchResult
 #: fields the analysis layer consumes.  Policies may persist additional
 #: arrays (the ``optimal`` column stores its per-scenario ``complete``
-#: mask); chunks round-trip whatever fields they were saved with.
+#: mask plus the ``nodes``/``seeded`` search-work accounting of the
+#: cross-grid-point seeding); chunks round-trip whatever fields they were
+#: saved with, and chunks written before a field existed simply omit it.
 RESULT_FIELDS = ("lifetimes", "decisions", "residual_charge")
 
 

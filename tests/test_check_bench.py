@@ -29,8 +29,14 @@ def check_bench():
 
 def write_records(directory, speedups):
     directory.mkdir(parents=True, exist_ok=True)
+    # A record file may carry several gated keys (BENCH_optimal.json holds
+    # both the node-throughput speedup and the seeded-sweep node ratio), so
+    # group by file before writing.
+    contents = {}
     for (name, key), value in speedups.items():
-        (directory / name).write_text(json.dumps({key: value, "noise": "x"}))
+        contents.setdefault(name, {"noise": "x"})[key] = value
+    for name, payload in contents.items():
+        (directory / name).write_text(json.dumps(payload))
 
 
 def all_checks(check_bench, value):
@@ -88,6 +94,20 @@ class TestGateDecisions:
              "--baseline-dir", str(tmp_path / "base")]
         ) == 1
 
+    def test_seeded_sweep_nodes_ratio_is_gated(self, check_bench, tmp_path):
+        """The seeded-vs-fresh sweep node ratio is gated too: if seeding
+        stops pruning (ratio collapses toward 1x from a 20x synthetic
+        baseline), the gate must fail on that key alone."""
+        assert ("BENCH_optimal.json", "sweep_nodes_ratio") in check_bench.CHECKS
+        fresh = all_checks(check_bench, 20.0)
+        fresh[("BENCH_optimal.json", "sweep_nodes_ratio")] = 1.0
+        write_records(tmp_path / "fresh", fresh)
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
     def test_missing_fresh_record_fails(self, check_bench, tmp_path):
         (tmp_path / "fresh").mkdir()
         write_records(tmp_path / "base", all_checks(check_bench, 20.0))
@@ -119,10 +139,13 @@ class TestGateDecisions:
         fresh_dir, base_dir = tmp_path / "fresh", tmp_path / "base"
         for directory, seconds in ((fresh_dir, 50.0), (base_dir, 5.0)):
             directory.mkdir()
+            payloads = {}
             for name, key in check_bench.CHECKS:
-                (directory / name).write_text(
-                    json.dumps({key: 20.0, "batch_seconds_per_sweep": seconds})
-                )
+                payloads.setdefault(
+                    name, {"batch_seconds_per_sweep": seconds}
+                )[key] = 20.0
+            for name, payload in payloads.items():
+                (directory / name).write_text(json.dumps(payload))
         assert check_bench.main(
             ["--fresh-dir", str(fresh_dir), "--baseline-dir", str(base_dir)]
         ) == 0

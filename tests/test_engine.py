@@ -37,6 +37,16 @@ from repro.workloads.load import Load, idle_epoch, job_epoch
 SMALL = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122, name="small")
 SMALLER = BatteryParameters(capacity=0.7, c=0.166, k_prime=0.122, name="smaller")
 
+
+def _double_chunk(chunk):
+    """Module-level (picklable) identity-ish worker for executor tests."""
+    return [item * 2 for item in chunk]
+
+
+def _drop_last_of_chunk(chunk):
+    """Misbehaving worker: returns one result fewer than items."""
+    return [item for item in chunk][:-1]
+
 FAST_CONFIG = RandomLoadConfig(
     levels=(0.25, 0.5),
     job_duration_range=(0.5, 1.0),
@@ -355,6 +365,23 @@ class TestParallelExecutor:
         assert executor.map(lambda chunk: [x * 2 for x in chunk], range(7)) == [
             0, 2, 4, 6, 8, 10, 12,
         ]
+
+    @pytest.mark.parametrize("n_workers", [1, 3])
+    def test_order_preserved_with_lazy_ragged_chunks(self, n_workers):
+        """Chunks are sliced per dispatch (no prebuilt chunk list); results
+        must still come back in item order, including a ragged final chunk
+        and more chunks than workers."""
+        items = list(range(23))
+        got = run_chunked(_double_chunk, items, n_workers=n_workers, chunk_size=4)
+        assert got == [item * 2 for item in items]
+
+    @pytest.mark.parametrize("n_workers", [1, 2])
+    def test_wrong_length_worker_output_is_rejected(self, n_workers):
+        with pytest.raises(ValueError, match="results for a chunk"):
+            run_chunked(
+                _drop_last_of_chunk, list(range(8)), n_workers=n_workers,
+                chunk_size=4,
+            )
 
 
 class TestMonteCarloEngines:

@@ -6,6 +6,7 @@ from repro.analysis.montecarlo import (
     LifetimeDistribution,
     lifetime_distribution,
     render_distributions,
+    run_montecarlo,
 )
 from repro.kibam.parameters import BatteryParameters
 from repro.workloads.generator import RandomLoadConfig
@@ -81,3 +82,42 @@ class TestMonteCarloSweep:
     def test_rejects_zero_samples(self):
         with pytest.raises(ValueError):
             lifetime_distribution([SMALL], n_samples=0)
+
+
+class TestWorkerParameterThreading:
+    """Regression: the multiprocessing worker partials dropped the solver
+    settings -- ``n_workers > 1`` silently simulated the hard-coded 0.01
+    dKiBaM grid and 0.005 dominance tolerance whatever the caller asked
+    for.  Every setting must now thread through both the policy worker and
+    the optimal worker, so a parallel run reproduces the inline scalar path
+    exactly at a non-default grid."""
+
+    KWARGS = dict(
+        n_samples=2,
+        policies=("sequential", "optimal"),
+        config=FAST_CONFIG,
+        seed=2,
+        engine="scalar",
+        model="discrete",
+        time_step=0.05,
+        charge_unit=0.05,
+        dominance_tolerance=0.0,
+        optimal_max_nodes=4000,
+    )
+
+    def test_parallel_workers_honor_solver_settings(self):
+        inline = run_montecarlo([SMALL, SMALL], n_workers=1, **self.KWARGS)
+        parallel = run_montecarlo([SMALL, SMALL], n_workers=2, **self.KWARGS)
+        assert parallel.per_sample == inline.per_sample
+
+    def test_non_default_grid_changes_the_numbers(self):
+        """Sanity guard for the regression test above: at the reference
+        grid the lifetimes differ from the 0.05 grid, so a worker that
+        fell back to the defaults could not pass the parity assertion."""
+        coarse = run_montecarlo([SMALL, SMALL], n_workers=1, **self.KWARGS)
+        reference = run_montecarlo(
+            [SMALL, SMALL],
+            n_workers=1,
+            **{**self.KWARGS, "time_step": 0.01, "charge_unit": 0.01},
+        )
+        assert coarse.per_sample != reference.per_sample

@@ -255,6 +255,58 @@ class TestSchedulingProperties:
         if pooled is not None:
             assert optimal.lifetime <= pooled * (1.0 + slack) + 0.5
 
+    @given(
+        load=short_loads(),
+        scales=st.lists(
+            st.sampled_from([0.6, 0.7, 0.8, 0.9, 1.0, 1.1]),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        base=st.floats(min_value=0.8, max_value=1.6),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_seeded_optimal_sweeps_match_fresh_sweeps_exactly(
+        self, load, scales, base
+    ):
+        """Spec-level dominance pruning never changes sweep results.
+
+        Over random capacity grids x random loads, the seeded optimal
+        column (cross-grid-point incumbent seeding, the SweepRunner
+        default) must return *bitwise identical* lifetimes, completeness
+        masks, decision counts and residual charge to an unseeded run --
+        only the expanded-node accounting may differ.  This holds for
+        capped searches too, because a seeded search that hits its node
+        cap is re-run without the seed before the scalar-DFS fallback.
+        """
+        import numpy as np
+
+        from repro.sweep import LoadAxis, SweepRunner, SweepSpec, battery_grid
+
+        if load.job_count == 0:
+            return
+        long_load = load.repeated(12)
+        spec = SweepSpec(
+            name="property-grid",
+            batteries=battery_grid(
+                [round(base * scale, 6) for scale in sorted(scales)],
+                c=0.166,
+                k_prime=0.122,
+            ),
+            loads=(LoadAxis.explicit([long_load]),),
+            policies=("sequential",),
+        ).with_optimal(max_nodes=1500, dominance_tolerance=0.005)
+        seeded = SweepRunner(None, seed_optimal=True).run(spec)
+        fresh = SweepRunner(None, seed_optimal=False).run(spec)
+        for field in ("lifetimes", "decisions", "residual_charge"):
+            np.testing.assert_array_equal(
+                getattr(seeded, field)["optimal"],
+                getattr(fresh, field)["optimal"],
+            )
+        np.testing.assert_array_equal(
+            seeded.complete["optimal"], fresh.complete["optimal"]
+        )
+
     @given(load=short_loads())
     @settings(max_examples=20, deadline=None)
     def test_schedule_segments_cover_the_lifetime(self, load):

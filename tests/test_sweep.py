@@ -822,6 +822,137 @@ class TestOptimalColumn:
                 assert a == pytest.approx(b, abs=1e-6)
 
 
+class TestOptimalSeeding:
+    """Spec-level dominance pruning of the optimal column.
+
+    The contract: seeded (default) and unseeded sweeps return *bitwise
+    identical* lifetimes, completeness masks, decision counts and residual
+    charge -- only the expanded-node accounting may differ -- and on a
+    monotone capacity grid the seeding strictly reduces the total node
+    count."""
+
+    def grid_spec(self, scales=(0.9, 0.95, 1.0), load_names=("CL alt", "ILs alt")):
+        medium = B1.scaled(0.75)
+        return SweepSpec(
+            name="seed-grid",
+            batteries=battery_grid(
+                [round(medium.capacity * s, 6) for s in scales],
+                c=medium.c,
+                k_prime=medium.k_prime,
+            ),
+            loads=(LoadAxis.paper(list(load_names)),),
+            policies=("sequential",),
+        ).with_optimal()
+
+    def run_pair(self, spec, store=None):
+        seeded = SweepRunner(store, seed_optimal=True).run(spec)
+        fresh = SweepRunner(None, seed_optimal=False).run(spec)
+        return seeded, fresh
+
+    def test_seeded_sweep_is_bitwise_identical_to_fresh(self):
+        seeded, fresh = self.run_pair(self.grid_spec())
+        for field in ("lifetimes", "decisions", "residual_charge"):
+            np.testing.assert_array_equal(
+                getattr(seeded, field)["optimal"], getattr(fresh, field)["optimal"]
+            )
+        np.testing.assert_array_equal(
+            seeded.complete["optimal"], fresh.complete["optimal"]
+        )
+
+    def test_seeding_strictly_reduces_expanded_nodes(self):
+        """Pinned on a table5-style capacity grid (2-battery B1-family
+        configurations under paper loads): the seeded optimal column must
+        expand strictly fewer nodes in total than fresh searches."""
+        seeded, fresh = self.run_pair(self.grid_spec())
+        seeded_nodes = int(seeded.nodes["optimal"].sum())
+        fresh_nodes = int(fresh.nodes["optimal"].sum())
+        assert seeded_nodes < fresh_nodes
+        # Only chain-interior points are seeded; the first capacity of each
+        # load's chain runs fresh.
+        flags = seeded.seeded["optimal"]
+        assert flags.any()
+        assert not fresh.seeded["optimal"].any()
+
+    def test_seeded_sweep_remains_identical_under_node_caps(self):
+        """Capped searches re-run without the seed before the scalar-DFS
+        fallback, so the bitwise contract holds even where max_nodes
+        bites."""
+        spec = self.grid_spec().with_optimal(max_nodes=3, dominance_tolerance=0.0)
+        seeded, fresh = self.run_pair(spec)
+        for field in ("lifetimes", "decisions", "residual_charge"):
+            np.testing.assert_array_equal(
+                getattr(seeded, field)["optimal"], getattr(fresh, field)["optimal"]
+            )
+        np.testing.assert_array_equal(
+            seeded.complete["optimal"], fresh.complete["optimal"]
+        )
+
+    def test_nodes_and_seeded_flags_round_trip_the_store(self, tmp_path):
+        spec = self.grid_spec()
+        store = ResultStore(tmp_path / "store")
+        cold = SweepRunner(store).run(spec)
+        warm = SweepRunner(store).run(spec)
+        assert warm.stats.chunks_run == 0
+        np.testing.assert_array_equal(
+            warm.nodes["optimal"], cold.nodes["optimal"]
+        )
+        np.testing.assert_array_equal(
+            warm.seeded["optimal"], cold.seeded["optimal"]
+        )
+        assert (cold.nodes["optimal"] > 0).all()
+
+    def test_render_reports_seeded_node_counts(self):
+        seeded, _ = self.run_pair(self.grid_spec())
+        rendered = seeded.render()
+        n_seeded = int(seeded.seeded["optimal"].sum())
+        assert "optimal search:" in rendered
+        assert f"{n_seeded} seeded" in rendered
+        # Sweeps without an optimal column stay footer-free.
+        plain = SweepRunner(None).run(small_spec(n_samples=2))
+        assert "optimal search:" not in plain.render()
+
+    def test_seed_chains_group_by_load_and_sort_by_capacity(self):
+        from repro.sweep import optimal_seed_chains
+
+        spec = self.grid_spec(scales=(1.0, 0.9, 0.95), load_names=("CL alt",))
+        points = spec.expand()
+        chains = optimal_seed_chains(points)
+        assert sorted(sum(chains, [])) == list(range(len(points)))
+        [chain] = chains
+        capacities = [points[i].battery_params[0].capacity for i in chain]
+        assert capacities == sorted(capacities)
+
+    def test_seed_chains_break_on_non_monotone_axes(self):
+        from repro.sweep import optimal_seed_chains
+
+        a = BatteryParameters(capacity=1.0, c=0.166, k_prime=0.122)
+        b = BatteryParameters(capacity=2.0, c=0.25, k_prime=0.2)  # other chemistry
+        spec = SweepSpec(
+            name="mixed",
+            batteries=(
+                BatteryConfig(label="A", params=(a, a)),
+                BatteryConfig(label="B", params=(b, b)),
+            ),
+            loads=(LoadAxis.paper(["CL alt"]),),
+            policies=("sequential",),
+        ).with_optimal()
+        points = spec.expand()
+        chains = optimal_seed_chains(points)
+        # Different (c, k') cannot chain: two singleton chains.
+        assert sorted(len(chain) for chain in chains) == [1, 1]
+
+    def test_cli_no_optimal_seeding_flag(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(self.grid_spec().to_dict()))
+        store = str(tmp_path / "store")
+        assert sweep_cli(
+            ["run", "--spec-file", str(spec_file), "--store", store,
+             "--no-optimal-seeding", "--quiet"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 seeded" in out
+
+
 class TestAggregation:
     def test_table_groups_random_samples(self, tmp_path):
         spec = small_spec(n_samples=8)
