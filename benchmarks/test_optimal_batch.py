@@ -26,9 +26,13 @@ A second harness measures *spec-level dominance pruning*: the sweep
 runner's cross-grid-point incumbent seeding on a table5-style capacity
 grid, recorded as the seeded-vs-fresh expanded-node ratio
 (``sweep_nodes_ratio``, also gated) with a bitwise result-identity check
-inside the benchmark.  Both harnesses merge their keys into
-``BENCH_optimal.json`` so either can run alone without clobbering the
-other's gated record.
+inside the benchmark.
+
+A third harness measures the *recovery-limited admissible bound*: fresh
+(unseeded) node counts on the certification-floor loads where seeding
+cannot help (``certification_nodes_ratio``, also gated).  All harnesses
+merge their keys into ``BENCH_optimal.json`` so any can run alone without
+clobbering the others' gated records.
 """
 
 import json
@@ -232,4 +236,84 @@ def test_seeded_sweep_prunes_nodes_with_identical_results(b1):
         f"nodes ratio    : {ratio:6.3f} x fewer -> BENCH_optimal.json\n"
         "sweep results bitwise identical (lifetimes, complete, decisions, "
         "residual)",
+    )
+
+
+#: The certification-floor loads: best-of-two is already (near-)optimal, so
+#: every expanded node is pure bound-certification work that incumbent
+#: seeding cannot touch -- only a tighter admissible bound can.  Reference
+#: node counts and lifetimes are fresh (unseeded) batched searches at the
+#: sweep-column settings, measured at the pre-recovery-limited-bound
+#: revision on this grid; the gated ratio is reference-total over
+#: current-total, so >1 means the bound got tighter and a regression below
+#: the committed value fails CI like a throughput regression would.
+CERT_FLOOR_SETTINGS = dict(max_nodes=20_000, dominance_tolerance=TOLERANCE)
+CERT_FLOOR_BASE_NODES = {"ILs 250": 4601, "IL` 250": 19135}
+CERT_FLOOR_BASE_LIFETIMES = {
+    "ILs 250": 40.724273694191396,
+    "IL` 250": 78.834220217177,
+}
+#: The certified (tolerance-0) optimum on ILs 250, identical between the
+#: scalar and batched searches before and after the bound change.
+CERT_ILS250_OPTIMUM = 40.72468066943123
+
+
+@pytest.mark.benchmark(group="optimal")
+def test_certification_floor_node_counts(b1, loads):
+    """Recovery-limited bound: fresh node counts on the certification floor.
+
+    Runs the two floor loads fresh (no incumbent seeding) at the sweep
+    settings and records the expanded-node totals.  Node counts are
+    deterministic, so the recorded ratio is exactly reproducible for a
+    given revision.  The acceptance bar is >= 20% fewer nodes than the
+    pre-bound reference on at least one load, with results never worse
+    than the reference and within the tolerance contract of the certified
+    optimum.
+    """
+    nodes = {}
+    for name, base_nodes in CERT_FLOOR_BASE_NODES.items():
+        result = find_optimal_schedule_batched(
+            [b1, b1], loads[name], **CERT_FLOOR_SETTINGS
+        )
+        assert result.complete
+        # Tolerance searches trade certification for speed, never result
+        # quality below the reference revision's.
+        assert result.lifetime >= CERT_FLOOR_BASE_LIFETIMES[name] - 1e-9
+        nodes[name] = result.nodes_expanded
+
+    # The certified optimum itself is pinned unchanged (the full parity
+    # contract lives in tests/test_optimal_batch.py), and the tolerance
+    # search stays within its contract of it.
+    certified = find_optimal_schedule_batched([b1, b1], loads["ILs 250"])
+    assert certified.complete
+    assert certified.lifetime == pytest.approx(CERT_ILS250_OPTIMUM, abs=1e-9)
+
+    reductions = {
+        name: 1.0 - nodes[name] / CERT_FLOOR_BASE_NODES[name]
+        for name in nodes
+    }
+    assert max(reductions.values()) >= 0.20, (
+        f"best certification-floor node cut {max(reductions.values()):.1%} "
+        f"({nodes} vs {CERT_FLOOR_BASE_NODES}); the bar is >= 20%"
+    )
+    ratio = sum(CERT_FLOOR_BASE_NODES.values()) / sum(nodes.values())
+
+    update_bench_record(
+        {
+            "certification_floor_settings": dict(CERT_FLOOR_SETTINGS),
+            "certification_floor_base_nodes": dict(CERT_FLOOR_BASE_NODES),
+            "certification_floor_nodes": nodes,
+            "certification_nodes_ratio": round(ratio, 3),
+        }
+    )
+    emit(
+        "Recovery-limited bound -- fresh certification-floor node counts "
+        "(sweep settings, 2 x B1)",
+        "\n".join(
+            f"{name:8s}: {nodes[name]:6d} nodes "
+            f"(reference {CERT_FLOOR_BASE_NODES[name]}, "
+            f"{reductions[name]:.1%} fewer)"
+            for name in nodes
+        )
+        + f"\nnodes ratio: {ratio:.3f} x fewer -> BENCH_optimal.json",
     )

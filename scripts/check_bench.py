@@ -41,12 +41,17 @@ from typing import List, Optional, Tuple
 #: cache-hit speedup, and ``sweep_nodes_ratio`` is the fresh-vs-seeded
 #: expanded-node ratio of the optimal sweep column (deterministic node
 #: counts -- a drop means the spec-level dominance pruning stopped biting).
+#: ``certification_nodes_ratio`` is the reference-over-current expanded-node
+#: ratio on the certification-floor loads (also deterministic -- a drop
+#: means the admissible bound got looser and the search re-expanded nodes
+#: the recovery-limited bound used to prune).
 CHECKS: Tuple[Tuple[str, str], ...] = (
     ("BENCH_engine.json", "speedup"),
     ("BENCH_sweep.json", "cache_hit_speedup"),
     ("BENCH_dkibam.json", "speedup"),
     ("BENCH_optimal.json", "speedup"),
     ("BENCH_optimal.json", "sweep_nodes_ratio"),
+    ("BENCH_optimal.json", "certification_nodes_ratio"),
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]

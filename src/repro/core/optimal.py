@@ -27,11 +27,14 @@ import dataclasses
 import itertools
 from typing import Any, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.battery import BatteryModel, make_battery_models
 from repro.core.policies import FixedAssignmentPolicy, make_policy
 from repro.core.schedule import Schedule, SimulationResult
 from repro.core.simulator import MultiBatterySimulator
 from repro.kibam.analytical import KibamState, step_constant_current
+from repro.kibam.bounds import build_pooled_job_table, recovery_limited_refinements
 from repro.kibam.lifetime import time_to_empty
 from repro.kibam.parameters import BatteryParameters
 from repro.workloads.load import Load
@@ -39,6 +42,11 @@ from repro.workloads.load import Load
 _TIME_EPSILON = 1e-9
 #: Slack used when comparing dominance vectors built from floats.
 _DOMINANCE_EPSILON = 1e-9
+#: Size cap for the bound memoization dicts.  Long sweep chains reuse one
+#: scheduler per scenario but run many scenarios back to back; clearing a
+#: full cache costs one recomputation burst while an unbounded cache grows
+#: with the number of distinct pooled states ever seen.
+_BOUND_CACHE_LIMIT = 65536
 
 
 @dataclasses.dataclass(frozen=True)
@@ -281,6 +289,8 @@ class OptimalScheduler:
             archive_limit=archive_limit,
         )
         self._bound_cache: dict = {}
+        self._job_table_cache: dict = {}
+        self._rl_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # public entry point
@@ -484,9 +494,19 @@ class OptimalScheduler:
         epoch_index: int,
         offset: float,
     ) -> float:
-        """Admissible upper bound on the remaining system lifetime."""
+        """Admissible upper bound on the remaining system lifetime.
+
+        With KiBaM-shaped batteries sharing ``c``/``k'`` this is the
+        perfect-pooling bound refined by the recovery-limited bound of
+        :mod:`repro.kibam.bounds` (never looser, often tighter near the
+        endgame); otherwise the total-charge fallback.
+        """
         if self._pooled_params is not None:
-            return self._pooled_bound(states, epoch_index, offset)
+            bound = self._pooled_bound(states, epoch_index, offset)
+            refined = self._recovery_limited_bound(states, epoch_index, offset)
+            if refined is not None and refined < bound:
+                return refined
+            return bound
         return self._total_charge_bound(states, epoch_index, offset)
 
     def _pooled_bound(self, states: Sequence[Any], epoch_index: int, offset: float) -> float:
@@ -530,8 +550,91 @@ class OptimalScheduler:
             elapsed += duration
         if bound is None:
             bound = elapsed * (1.0 + self._bound_slack)
+        if len(self._bound_cache) >= _BOUND_CACHE_LIMIT:
+            self._bound_cache.clear()
         self._bound_cache[cache_key] = bound
         return bound
+
+    def _recovery_limited_bound(
+        self, states: Sequence[Any], epoch_index: int, offset: float
+    ) -> Optional[float]:
+        """Recovery-limited refinement of the pooling bound (scalar reference).
+
+        Returns ``None`` when the refinement does not apply (fewer than two
+        alive batteries -- the pooled bound is already exact about a single
+        server -- or no pooled parameters).  The refinement is admissible
+        only for batteries sharing ``c`` and ``k'``, which is exactly the
+        condition under which ``self._pooled_params`` exists, and only for
+        the *analytical* model: the chain-feasibility half of the argument
+        is a theorem of the continuous dynamics, and the dKiBaM grid can
+        keep a marginal burst alive that the continuous threshold rules out
+        (tick rounding works in the battery's favor), which no
+        multiplicative slack can repair.  Discrete searches keep the
+        slack-inflated pooling bound.
+        """
+        params = self._pooled_params
+        if params is None or self.models[0].backend != "analytical":
+            return None
+        c = params.c
+        wells = []
+        alive = []
+        for i in range(len(self.models)):
+            if self.models[i].is_empty(states[i]):
+                wells.append((0.0, 0.0))
+                alive.append(False)
+                continue
+            summary = self.models[i].kibam_summary(states[i])
+            assert summary is not None
+            gamma_i, delta_i = summary
+            y1_i = c * (gamma_i - (1.0 - c) * delta_i)
+            wells.append((y1_i, gamma_i - y1_i))
+            alive.append(True)
+        if sum(alive) < 2:
+            return None
+        gamma = sum(w[0] + w[1] for w, ok in zip(wells, alive) if ok)
+        y1_pool = sum(w[0] for w, ok in zip(wells, alive) if ok)
+        delta = (gamma - y1_pool / c) / (1.0 - c)
+        # Identical batteries make the bound permutation-invariant.
+        well_sig = tuple(
+            sorted((round(w[0], 9), round(w[1], 9)) for w, ok in zip(wells, alive) if ok)
+        )
+        rl_key = (epoch_index, round(offset, 9), well_sig)
+        cached = self._rl_cache.get(rl_key)
+        if cached is not None:
+            return cached
+        table = self._job_table(epoch_index, offset, gamma, delta)
+        y1 = np.asarray([[w[0] for w in wells]])
+        y2 = np.asarray([[w[1] for w in wells]])
+        mask = np.asarray([alive])
+        refined = float(
+            recovery_limited_refinements(table, params, y1, y2, mask)[0]
+        ) * (1.0 + self._bound_slack)
+        if len(self._rl_cache) >= _BOUND_CACHE_LIMIT:
+            self._rl_cache.clear()
+        self._rl_cache[rl_key] = refined
+        return refined
+
+    def _job_table(self, epoch_index: int, offset: float, gamma: float, delta: float):
+        """Pooled job table for a decision point (cached on the pooled state)."""
+        params = self._pooled_params
+        assert params is not None
+        cache_key = (epoch_index, round(offset, 9), round(gamma, 9), round(delta, 9))
+        table = self._job_table_cache.get(cache_key)
+        if table is not None:
+            return table
+
+        def solver(p, g, d, current, horizon):
+            return time_to_empty(p, KibamState(gamma=g, delta=d), current, horizon=horizon)
+
+        currents = [epoch.current for epoch in self._epochs]
+        durations = [epoch.duration for epoch in self._epochs]
+        table = build_pooled_job_table(
+            params, currents, durations, epoch_index, offset, gamma, delta, solver
+        )
+        if len(self._job_table_cache) >= _BOUND_CACHE_LIMIT:
+            self._job_table_cache.clear()
+        self._job_table_cache[cache_key] = table
+        return table
 
     def _total_charge_bound(
         self, states: Sequence[Any], epoch_index: int, offset: float

@@ -14,10 +14,18 @@ admissible lifetime bound (best-first) and processes them in batches:
   lane-parallel form of :meth:`repro.kibam.discrete.DiscreteKibam.
   run_segment`) for the discrete model;
 * the admissible remaining-lifetime upper bound (the perfect-pooling bound
-  of the scalar search, or the total-charge fallback for batteries that do
-  not share ``c``/``k'``) is evaluated for a whole frontier batch in one
-  vectorized epoch walk, memoized on the same quantized keys as the scalar
-  search;
+  of the scalar search refined by the recovery-limited bound of
+  :mod:`repro.kibam.bounds`, or the total-charge fallback for batteries
+  that do not share ``c``/``k'``) is evaluated for a whole frontier batch
+  in one vectorized epoch walk, memoized on the same quantized keys as the
+  scalar search;
+* the search also carries a cheap per-node *lower* bound -- the lifetime
+  of the node's state under the fixed greedy completion, rolled out on the
+  same batch kernels -- probed periodically on popped batches; an
+  improving lower bound raises the incumbent (it is an achievable
+  schedule) and retroactively evicts every live frontier slot whose upper
+  bound it covers (free-listed immediately, heap entries invalidated
+  lazily via slot stamps);
 * dominance and symmetry pruning reuse the scalar search's
   :class:`repro.core.optimal.DominanceArchive` unchanged, so the pruning
   semantics (and therefore soundness) are shared, not re-derived.
@@ -62,6 +70,7 @@ import numpy as np
 
 from repro.core.battery import make_battery_models
 from repro.core.optimal import (
+    _BOUND_CACHE_LIMIT,
     DominanceArchive,
     OptimalScheduleResult,
     OptimalScheduler,
@@ -78,6 +87,7 @@ from repro.engine.kernels import (
     step_constant_current_array,
     time_to_empty_array,
 )
+from repro.kibam.bounds import build_pooled_job_table, recovery_limited_refinements
 from repro.kibam.discrete import discharge_spec_for, duration_ticks
 from repro.kibam.parameters import BatteryParameters
 from repro.workloads.load import Load
@@ -88,6 +98,19 @@ _TIME_EPSILON = 1e-9
 _EMPTY_TOLERANCE = 1e-12
 #: Default number of frontier nodes expanded per vectorized round.
 DEFAULT_BATCH_SIZE = 64
+#: Expansion rounds between greedy-completion lower-bound probes.  Each
+#: probe rolls one popped batch to system death (about the cost of one
+#: expansion round), so probing every round would roughly double the
+#: search; every 16th round keeps the cost under ~7% while the incumbent
+#: still tightens long before the frontier drains.
+_LB_PROBE_PERIOD = 16
+
+#: Tolerance-adaptive dominance-archive depths (see
+#: :class:`BatchOptimalScheduler`): certified searches merge few signatures,
+#: so deep archives are pure overhead; tolerant searches merge aggressively
+#: and a deep archive roughly halves the certification-floor node counts.
+_CERTIFIED_ARCHIVE_LIMIT = 64
+_TOLERANT_ARCHIVE_LIMIT = 1024
 
 #: Battery models the batched search can advance; anything else must use
 #: the scalar :class:`repro.core.optimal.OptimalScheduler`.
@@ -433,11 +456,22 @@ class _BoundEvaluator:
         bound_slack: float,
     ) -> None:
         self.pooled = _pooling_parameters(params)
+        self.pooled_params = (
+            BatteryParameters(
+                capacity=self.pooled[0],
+                c=self.pooled[1],
+                k_prime=self.pooled[2],
+                name="pooled-bound",
+            )
+            if self.pooled is not None
+            else None
+        )
         self.currents = currents
         self.durations = durations
         self.n_epochs = currents.shape[0]
         self.bound_slack = bound_slack
         self._cache: dict = {}
+        self._job_tables: dict = {}
 
     def pooled_bounds(
         self,
@@ -454,6 +488,9 @@ class _BoundEvaluator:
         ]
         out = np.empty(len(keys))
         miss = [i for i, key in enumerate(keys) if key not in self._cache]
+        for i, key in enumerate(keys):
+            if key in self._cache:
+                out[i] = self._cache[key]
         if miss:
             idx = np.asarray(miss)
             fresh = self._pooled_walk(
@@ -463,9 +500,10 @@ class _BoundEvaluator:
                 offset[idx].astype(np.float64),
             )
             for i, value in zip(miss, fresh):
+                out[i] = float(value)
+                if len(self._cache) >= _BOUND_CACHE_LIMIT:
+                    self._cache.clear()
                 self._cache[keys[i]] = float(value)
-        for i, key in enumerate(keys):
-            out[i] = self._cache[key]
         return out
 
     def _pooled_walk(
@@ -518,6 +556,83 @@ class _BoundEvaluator:
                 e[go] += 1
                 off[go] = 0.0
         return bound
+
+    def recovery_limited_bounds(
+        self,
+        pooled_bounds: np.ndarray,
+        gamma: np.ndarray,
+        delta: np.ndarray,
+        epoch: np.ndarray,
+        offset: np.ndarray,
+        y1: np.ndarray,
+        y2: np.ndarray,
+        alive: np.ndarray,
+    ) -> np.ndarray:
+        """Recovery-limited refinement of already-computed pooled bounds.
+
+        Mirrors :meth:`repro.core.optimal.OptimalScheduler.
+        _recovery_limited_bound` for a whole frontier batch: nodes sharing a
+        decision point and pooled state share one
+        :func:`repro.kibam.bounds.build_pooled_job_table` (cached like the
+        pooled bounds), and the per-node feasibility scan runs vectorized
+        over the group.  ``y1``/``y2`` are ``(n_nodes, n_batteries)``
+        per-battery wells (Amin), ``alive`` the matching non-empty mask.
+        Returns bounds no larger than ``pooled_bounds``; rows the
+        refinement does not apply to (fewer than two alive batteries) pass
+        through unchanged.
+        """
+        params = self.pooled_params
+        assert params is not None
+        out = np.asarray(pooled_bounds, dtype=np.float64).copy()
+        eligible = np.asarray(alive, dtype=bool).sum(axis=1) >= 2
+        if not eligible.any():
+            return out
+        scale = 1.0 + self.bound_slack
+        groups: dict = {}
+        for i in np.flatnonzero(eligible):
+            key = (
+                int(epoch[i]),
+                round(float(offset[i]), 9),
+                round(float(gamma[i]), 9),
+                round(float(delta[i]), 9),
+            )
+            groups.setdefault(key, []).append(int(i))
+        for key, rows in groups.items():
+            table = self._job_tables.get(key)
+            if table is None:
+                e, o, g, d = key
+                table = build_pooled_job_table(
+                    params,
+                    self.currents,
+                    self.durations,
+                    e,
+                    float(offset[rows[0]]),
+                    float(gamma[rows[0]]),
+                    float(delta[rows[0]]),
+                    self._segment_crossing,
+                )
+                if len(self._job_tables) >= _BOUND_CACHE_LIMIT:
+                    self._job_tables.clear()
+                self._job_tables[key] = table
+            idx = np.asarray(rows, dtype=np.int64)
+            refined = recovery_limited_refinements(
+                table, params, y1[idx], y2[idx], alive[idx]
+            )
+            out[idx] = np.minimum(out[idx], refined * scale)
+        return out
+
+    @staticmethod
+    def _segment_crossing(params, gamma, delta, current, horizon):
+        """Single-state segment crossing via the vectorized solver."""
+        crossing, crossed = time_to_empty_array(
+            params.c,
+            params.k_prime,
+            np.asarray([gamma]),
+            np.asarray([delta]),
+            np.asarray([current]),
+            np.asarray([horizon]),
+        )
+        return float(crossing[0]) if bool(crossed[0]) else None
 
     def total_charge_bounds(
         self, total_charge: np.ndarray, epoch: np.ndarray, offset: np.ndarray
@@ -776,6 +891,12 @@ class _AnalyticalOps:
             remaining = self.bounds.pooled_bounds(
                 gamma, delta, epoch[live], offset[live]
             )
+            y1 = c * (S[live, :, GAMMA] - (1.0 - c) * S[live, :, DELTA])
+            y2 = S[live, :, GAMMA] - y1
+            remaining = self.bounds.recovery_limited_bounds(
+                remaining, gamma, delta, epoch[live], offset[live],
+                y1, y2, live_alive,
+            )
         else:
             total = np.where(
                 alive[any_alive], np.maximum(0.0, S[live, :, GAMMA]), 0.0
@@ -818,6 +939,91 @@ class _AnalyticalOps:
         mat[:, :, 2] = -states[:, :, DELTA]
         empty_row = np.array([0.0, -np.inf, -np.inf])
         return np.where(sticky[:, :, None], empty_row, mat)
+
+    # -- greedy lower bounds -------------------------------------------- #
+    def greedy_lifetimes(self, slots: np.ndarray):
+        """Achieved lifetime of each slot under the fixed greedy completion.
+
+        Rolls every node forward with the most-available-charge-first rule
+        (the search's own branch ordering) until system death, entirely on
+        the batch kernels.  Returns ``(lifetimes, choices)`` -- the
+        lifetime in minutes per node and the battery-choice list each
+        rollout appended, so an improving node's full assignment can be
+        reconstructed from its decision trace plus its greedy tail.  The
+        rollouts are real schedules of these batteries, so each lifetime
+        is an achievable *lower* bound on the node's optimum.
+        """
+        pool = self.pool
+        S = pool.state[slots].copy()
+        sticky = pool.sticky[slots].copy()
+        epoch = pool.epoch[slots].copy()
+        offset = pool.offset[slots].copy()
+        time = pool.time[slots].copy()
+        K = slots.shape[0]
+        c = self.kp.c
+        lifetimes = np.zeros(K)
+        choices: List[List[int]] = [[] for _ in range(K)]
+        active = np.arange(K)
+        while active.size:
+            ended = epoch[active] >= self.n_epochs
+            fin = active[ended]
+            lifetimes[fin] = time[fin]
+            active = active[~ended]
+            if active.size == 0:
+                break
+            job = self.is_job[epoch[active]]
+            idle = active[~job]
+            if idle.size:
+                span = self.durations[epoch[idle]] - offset[idle]
+                old = S[idle]
+                new = step_constant_current_array(
+                    self.kp, old, np.zeros((idle.size, self.n_batteries)), span[:, None]
+                )
+                S[idle] = np.where(sticky[idle][:, :, None], old, new)
+                time[idle] += span
+                epoch[idle] += 1
+                offset[idle] = 0.0
+            serving = active[job]
+            if serving.size:
+                margin = S[serving, :, GAMMA] - (1.0 - c) * S[serving, :, DELTA]
+                alive = (~sticky[serving]) & (margin > _EMPTY_TOLERANCE)
+                dead = ~alive.any(axis=1)
+                fin = serving[dead]
+                lifetimes[fin] = time[fin]
+                serving = serving[~dead]
+                if serving.size:
+                    margin = margin[~dead]
+                    alive = alive[~dead]
+                    avail = np.where(alive, np.maximum(0.0, c * margin), -1.0)
+                    cho = avail.argmax(axis=1)
+                    rows = np.arange(serving.size)
+                    cur = self.currents[epoch[serving]]
+                    remaining = self.durations[epoch[serving]] - offset[serving]
+                    crossing, crossed = time_to_empty_array(
+                        c[cho],
+                        self.kp.k_prime[cho],
+                        S[serving, cho, GAMMA],
+                        S[serving, cho, DELTA],
+                        cur,
+                        remaining,
+                    )
+                    span = np.where(crossed, crossing, remaining)
+                    battery_currents = np.zeros((serving.size, self.n_batteries))
+                    battery_currents[rows, cho] = cur
+                    old = S[serving]
+                    new = step_constant_current_array(
+                        self.kp, old, battery_currents, span[:, None]
+                    )
+                    S[serving] = np.where(sticky[serving][:, :, None], old, new)
+                    sticky[serving, cho] = sticky[serving, cho] | crossed
+                    time[serving] += span
+                    mid = crossed & (remaining - span > _TIME_EPSILON)
+                    epoch[serving] = np.where(mid, epoch[serving], epoch[serving] + 1)
+                    offset[serving] = np.where(mid, offset[serving] + span, 0.0)
+                    for k, j in zip(serving, cho):
+                        choices[int(k)].append(int(j))
+            active = np.concatenate([idle, serving])
+        return lifetimes, choices
 
 
 # --------------------------------------------------------------------- #
@@ -1092,12 +1298,16 @@ class _DiscreteOps:
         offset_min = offset[live] * self.time_step
         if self.bounds.pooled is not None:
             live_alive = alive[any_alive]
-            gamma = np.where(
-                live_alive, U[live, _N_ROW, :] * self.charge_unit, 0.0
-            ).sum(axis=1)
-            delta = np.where(
-                live_alive, U[live, _M_ROW, :] * self.height_unit, 0.0
-            ).sum(axis=1)
+            gamma_u = U[live, _N_ROW, :] * self.charge_unit
+            delta_u = U[live, _M_ROW, :] * self.height_unit
+            gamma = np.where(live_alive, gamma_u, 0.0).sum(axis=1)
+            delta = np.where(live_alive, delta_u, 0.0).sum(axis=1)
+            # No recovery-limited refinement here: the chain-feasibility
+            # argument holds for the continuous dynamics only, and dKiBaM
+            # tick rounding can keep a marginal burst alive that the
+            # continuous threshold rules out (see
+            # OptimalScheduler._recovery_limited_bound).  The discrete
+            # search keeps the slack-inflated pooling bound.
             remaining = self.bounds.pooled_bounds(
                 gamma, delta, epoch[live], offset_min
             )
@@ -1147,6 +1357,131 @@ class _DiscreteOps:
         empty_row[0] = 0.0
         return np.where(empty[:, :, None], empty_row, mat)
 
+    # -- greedy lower bounds -------------------------------------------- #
+    def greedy_lifetimes(self, slots: np.ndarray):
+        """Exact-tick greedy-completion lifetimes; see the analytical twin."""
+        pool = self.pool
+        U = pool.units[slots].copy()
+        empty = pool.empty[slots].copy()
+        epoch = pool.epoch[slots].copy()
+        offset = pool.offset[slots].copy()
+        time = pool.time[slots].copy()
+        K = slots.shape[0]
+        lifetimes = np.zeros(K)
+        choices: List[List[int]] = [[] for _ in range(K)]
+        active = np.arange(K)
+        while active.size:
+            ended = epoch[active] >= self.n_epochs
+            fin = active[ended]
+            lifetimes[fin] = time[fin] * self.time_step
+            active = active[~ended]
+            if active.size == 0:
+                break
+            job = self.is_job[epoch[active]]
+            idle = active[~job]
+            if idle.size:
+                span = self.e_ticks[epoch[idle]] - offset[idle]
+                usable = ~empty[idle]
+                lane_node, lane_bat = np.nonzero(usable)
+                if lane_node.size:
+                    sub = idle[lane_node]
+                    flat = U[sub, :, lane_bat]
+                    zeros = np.zeros(lane_node.shape[0], dtype=np.int64)
+                    i_n, i_m, i_rec, i_acc, i_rcur, i_rct, _ = discrete_segment_array(
+                        self.tables,
+                        self.trow[lane_bat],
+                        self.cp[lane_bat],
+                        flat[:, _N_ROW],
+                        flat[:, _M_ROW],
+                        flat[:, _REC_ROW],
+                        flat[:, _ACC_ROW],
+                        flat[:, _RCUR_ROW],
+                        flat[:, _RCT_ROW],
+                        zeros,
+                        np.ones(lane_node.shape[0], dtype=np.int64),
+                        span[lane_node],
+                    )
+                    U[sub, :, lane_bat] = np.stack(
+                        [i_n, i_m, i_rec, i_acc, i_rcur, i_rct], axis=1
+                    )
+                time[idle] += span
+                epoch[idle] += 1
+                offset[idle] = 0
+            serving = active[job]
+            if serving.size:
+                alive = self._alive(U[serving], empty[serving])
+                dead = ~alive.any(axis=1)
+                fin = serving[dead]
+                lifetimes[fin] = time[fin] * self.time_step
+                serving = serving[~dead]
+                if serving.size:
+                    alive = alive[~dead]
+                    gamma = U[serving, _N_ROW, :] * self.charge_unit
+                    delta = U[serving, _M_ROW, :] * self.height_unit
+                    avail = np.where(
+                        alive,
+                        np.maximum(0.0, self.c * (gamma - (1.0 - self.c) * delta)),
+                        -1.0,
+                    )
+                    cho = avail.argmax(axis=1)
+                    rows = np.arange(serving.size)
+                    cur = self.e_cur[epoch[serving]]
+                    ct = self.e_ct[epoch[serving]]
+                    remaining = self.e_ticks[epoch[serving]] - offset[serving]
+                    lane = U[serving, :, cho]
+                    n2, m2, rec2, acc2, rcur2, rct2, empty_tick = discrete_segment_array(
+                        self.tables,
+                        self.trow[cho],
+                        self.cp[cho],
+                        lane[:, _N_ROW],
+                        lane[:, _M_ROW],
+                        lane[:, _REC_ROW],
+                        lane[:, _ACC_ROW],
+                        lane[:, _RCUR_ROW],
+                        lane[:, _RCT_ROW],
+                        cur,
+                        ct,
+                        remaining,
+                    )
+                    emptied = empty_tick >= 0
+                    span = np.where(emptied, empty_tick, remaining)
+                    U[serving, :, cho] = np.stack(
+                        [n2, m2, rec2, acc2, rcur2, rct2], axis=1
+                    )
+                    empty[serving, cho] = empty[serving, cho] | emptied
+                    other = ~empty[serving]
+                    other[rows, cho] = False
+                    lane_node, lane_bat = np.nonzero(other)
+                    if lane_node.size:
+                        sub = serving[lane_node]
+                        flat = U[sub, :, lane_bat]
+                        zeros = np.zeros(lane_node.shape[0], dtype=np.int64)
+                        i_n, i_m, i_rec, i_acc, i_rcur, i_rct, _ = discrete_segment_array(
+                            self.tables,
+                            self.trow[lane_bat],
+                            self.cp[lane_bat],
+                            flat[:, _N_ROW],
+                            flat[:, _M_ROW],
+                            flat[:, _REC_ROW],
+                            flat[:, _ACC_ROW],
+                            flat[:, _RCUR_ROW],
+                            flat[:, _RCT_ROW],
+                            zeros,
+                            np.ones(lane_node.shape[0], dtype=np.int64),
+                            span[lane_node],
+                        )
+                        U[sub, :, lane_bat] = np.stack(
+                            [i_n, i_m, i_rec, i_acc, i_rcur, i_rct], axis=1
+                        )
+                    time[serving] += span
+                    mid = emptied & (remaining - span > 0)
+                    epoch[serving] = np.where(mid, epoch[serving], epoch[serving] + 1)
+                    offset[serving] = np.where(mid, offset[serving] + span, 0)
+                    for k, j in zip(serving, cho):
+                        choices[int(k)].append(int(j))
+            active = np.concatenate([idle, serving])
+        return lifetimes, choices
+
 
 # --------------------------------------------------------------------- #
 # the batched scheduler
@@ -1164,7 +1499,18 @@ class BatchOptimalScheduler:
             when the frontier still holds unexpanded, unpruned nodes at the
             cap the result carries ``complete=False``.
         use_dominance: enable dominance pruning (off only for ablations).
-        archive_limit: maximum archived states per decision point.
+        archive_limit: maximum archived states per decision point; ``None``
+            picks a tolerance-adaptive default.  Pruning more states never
+            changes certified results -- dominance pruning is sound at any
+            archive depth, the limit only caps how many admitted states
+            later admissions are checked against.  Measured on the
+            certification-floor loads: at ``dominance_tolerance=0``
+            quantized signatures rarely merge, so a deep (1024) archive
+            prunes *zero* extra nodes while costing ~2.5x the wall time --
+            the certified default stays at the scalar search's 64.  With a
+            positive tolerance the merged signatures keep archives small
+            and effective, and the deep cap roughly halves the expanded
+            nodes at no wall-time cost, so the tolerant default is 1024.
         dominance_tolerance: state-merge tolerance (Amin); zero certifies
             optimality, exactly like the scalar search.
         batch_size: frontier nodes expanded per vectorized round.  Larger
@@ -1181,7 +1527,7 @@ class BatchOptimalScheduler:
         charge_unit: float = 0.01,
         max_nodes: Optional[int] = None,
         use_dominance: bool = True,
-        archive_limit: int = 64,
+        archive_limit: Optional[int] = None,
         dominance_tolerance: float = 0.0,
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
@@ -1204,6 +1550,12 @@ class BatchOptimalScheduler:
         self.charge_unit = charge_unit
         self.max_nodes = max_nodes
         self.use_dominance = use_dominance
+        if archive_limit is None:
+            archive_limit = (
+                _CERTIFIED_ARCHIVE_LIMIT
+                if dominance_tolerance == 0.0
+                else _TOLERANT_ARCHIVE_LIMIT
+            )
         self.archive_limit = archive_limit
         self.dominance_tolerance = dominance_tolerance
         self.batch_size = batch_size
@@ -1319,6 +1671,18 @@ class BatchOptimalScheduler:
         counter = itertools.count()
         heap: List = []
         pool = self._ops.pool
+        # Slot re-use stamps for lazy heap invalidation: a heap entry is
+        # stale (its slot was retroactively evicted and possibly re-used)
+        # when its recorded stamp no longer matches the slot's.
+        stamps = np.zeros(pool.capacity, dtype=np.int64)
+
+        def slot_stamp(slot: int) -> int:
+            nonlocal stamps
+            if stamps.shape[0] < pool.capacity:
+                grown = np.zeros(pool.capacity, dtype=np.int64)
+                grown[: stamps.shape[0]] = stamps
+                stamps = grown
+            return int(stamps[slot])
 
         def admit(children) -> None:
             for child in children:
@@ -1332,8 +1696,43 @@ class BatchOptimalScheduler:
                     continue
                 heapq.heappush(
                     heap,
-                    (-child.bound_total, next(counter), child.bound_total, child.slot),
+                    (
+                        -child.bound_total,
+                        next(counter),
+                        child.bound_total,
+                        child.slot,
+                        slot_stamp(child.slot),
+                    ),
                 )
+
+        def evict_frontier() -> None:
+            """Retroactively drop frontier entries the incumbent now covers.
+
+            The UB/LB dual cut of the ``fcn_BB`` exemplar: whenever the
+            incumbent (a certified *lower* bound) improves, every live
+            frontier slot whose upper bound can no longer beat it is
+            free-listed immediately instead of waiting to be popped.  The
+            pop loop would never expand those entries anyway -- the heap
+            is bound-ordered and clears at the first sub-incumbent top --
+            so this is frontier hygiene: the pool rows recycle sooner and
+            the heap shrinks, which keeps memory flat on long searches.
+            Entries are invalidated lazily via slot stamps.
+            """
+            nonlocal heap
+            cutoff = self._best_lifetime + _TIME_EPSILON
+            keep: List = []
+            for entry in heap:
+                _, _, bound_total, slot, stamp = entry
+                if stamps[slot] != stamp:
+                    continue  # already evicted and possibly re-used
+                if bound_total <= cutoff:
+                    stamps[slot] += 1
+                    pool.release(slot)
+                else:
+                    keep.append(entry)
+            if len(keep) != len(heap):
+                heapq.heapify(keep)
+                heap = keep
 
         candidates, ready = self._ops.prepare(
             self._ops.root_batch(), self._best_lifetime
@@ -1341,10 +1740,13 @@ class BatchOptimalScheduler:
         self._record(candidates)
         admit(ready)
 
+        rounds = 0
         while heap:
             batch: List[int] = []
             while heap and len(batch) < self.batch_size:
-                _, _, bound_total, slot = heapq.heappop(heap)
+                _, _, bound_total, slot, stamp = heapq.heappop(heap)
+                if stamps[slot] != stamp:
+                    continue  # stale entry: slot was evicted
                 if bound_total <= self._best_lifetime + _TIME_EPSILON:
                     # The frontier is bound-ordered: once the best bound
                     # cannot beat the incumbent, nothing on the heap can.
@@ -1364,12 +1766,30 @@ class BatchOptimalScheduler:
                         break
             self._nodes_expanded += len(batch)
             slots = np.asarray(batch, dtype=np.int64)
+            best_before = self._best_lifetime
+            if rounds % _LB_PROBE_PERIOD == 0:
+                # Dual-bound probe: greedy-complete the popped nodes (an
+                # achievable schedule each, so a sound incumbent) before
+                # branching them.  Periodic, not per-round: the rollout
+                # costs about one extra expansion round, and the frontier's
+                # bound order means the same strong nodes would surface
+                # again next probe if skipped.
+                lower, tails = self._ops.greedy_lifetimes(slots)
+                best = int(np.argmax(lower))
+                if lower[best] > self._best_lifetime + _TIME_EPSILON:
+                    self._best_lifetime = float(lower[best])
+                    self._best_assignment = self._ops.trace.assignment(
+                        int(pool.trace[slots[best]])
+                    ) + tuple(tails[best])
+            rounds += 1
             candidates, children = self._ops.branch(slots)
             pool.release(slots)
             self._record(candidates)
             candidates, ready = self._ops.prepare(children, self._best_lifetime)
             self._record(candidates)
             admit(ready)
+            if self._best_lifetime > best_before + _TIME_EPSILON:
+                evict_frontier()
 
         replay = simulator.run(
             self.load, FixedAssignmentPolicy(self._best_assignment)
@@ -1416,13 +1836,16 @@ def find_optimal_schedule_batched(
     dominance_tolerance: float = 0.0,
     batch_size: int = DEFAULT_BATCH_SIZE,
     seed_assignment: Optional[Sequence[int]] = None,
+    archive_limit: Optional[int] = None,
 ) -> OptimalScheduleResult:
     """Batched counterpart of :func:`repro.core.optimal.find_optimal_schedule`.
 
     Same semantics and result type; models without a vectorized kernel
     (``"linear"``) transparently fall back to the scalar search (which
-    ignores ``seed_assignment`` -- seeding is a pure pruning optimization,
-    see :meth:`BatchOptimalScheduler.search`).
+    ignores ``seed_assignment`` -- seeding is a pure pruning optimization;
+    see :meth:`BatchOptimalScheduler.search`).  ``archive_limit=None``
+    picks the tolerance-adaptive archive depth documented on
+    :class:`BatchOptimalScheduler`.
     """
     resolved = resolve_model(model, backend)
     if resolved not in BATCH_OPTIMAL_MODELS:
@@ -1447,6 +1870,7 @@ def find_optimal_schedule_batched(
         charge_unit=charge_unit,
         max_nodes=max_nodes,
         use_dominance=use_dominance,
+        archive_limit=archive_limit,
         dominance_tolerance=dominance_tolerance,
         batch_size=batch_size,
     )

@@ -1,0 +1,348 @@
+"""Admissible lifetime bounds for multi-battery KiBaM scheduling.
+
+The perfect-pooling bound (summing the transformed states of batteries that
+share ``c`` and ``k'`` and walking one pooled KiBaM through the load) is the
+workhorse upper bound of both optimal searches.  It is exact about the
+*aggregate* dynamics -- the pooled ``(gamma, delta)`` evolves identically
+however the load is split -- but it implicitly lets every battery's bound
+charge serve the load, as if charge could migrate between batteries.  Real
+schedules cannot do that: one battery serves each burst (switchover happens
+only when the serving battery dies), and a dead battery strands whatever
+bound charge it still holds.
+
+This module implements the *recovery-limited* refinement of the pooling
+bound used by :class:`repro.core.optimal.OptimalScheduler` and the batched
+:class:`repro.engine.optimal_batch.BatchOptimalScheduler`.  The argument
+has two halves, both closed-form:
+
+**Chain feasibility.**  While no battery has died, the aggregate state at
+each job start equals the pooled walk exactly, and each job must be served
+*whole* by a single battery (decisions happen at job starts and at server
+deaths only).  Serving current ``I`` for ``d`` minutes from well state
+``(y1, y2)`` succeeds iff the empty margin stays positive through the
+burst, which linearizes to ``y1 >= A - B * y2`` with
+
+.. math::
+
+    A = \\frac{c\\,(I d + (1-E)\\,(1-c)\\,\\delta_\\infty)}{c + (1-c)E},
+    \\qquad
+    B = \\frac{c\\,(1-E)}{c + (1-c)E},
+    \\qquad E = e^{-k'd},\\ \\delta_\\infty = I/(c k').
+
+Per battery ``u`` the search only knows sound *caps* at job start ``s``:
+``y1_u(s) <= min(y1_pool(s), y1_u^0 + y2_u^0 (1 - e^{-k'c s}))`` (no
+battery's available charge exceeds the pool's while all are alive, and a
+battery cannot gain available charge faster than its own bound charge
+transfers) and ``y2_u(s) <= min(y2_u^0, y2_pool(s) - \\sum_{v \\ne u}
+y2_v^0 e^{-k'c s})`` (per-battery bound charge never increases and decays
+at most at rate ``k'c``; the pooled ``y2`` bookkeeping is exact).  ``B >
+0``, so plugging the ``y2`` cap into the threshold is optimistic; if *no*
+battery passes its optimistic check for some job ``j*``, every schedule
+suffers its first battery death no later than that job's end ``T*``.
+
+**Stranded-charge tail.**  A battery that dies at ``tau1 <= T*`` keeps
+``y2 >= y2_min^0 e^{-k'c tau1}`` Amin forever (its gamma is frozen once it
+stops serving).  The total charge delivered by the surviving batteries
+through time ``t`` along the *actual* pooled trajectory obeys the
+max-drain envelope ``delivered(t) <= y1_pool(tau1) + y2_pool(tau1)(1 -
+e^{-k'c (t - tau1)})`` which, evaluated along the pooled walk, is
+non-increasing in ``tau1`` (the envelope derivative is ``e^{-k'c(t-tau)}
+k'c ((1-c)\\delta - y2) <= 0`` whenever the pooled ``y1 >= 0``).  Hence for
+any first death at ``tau1 <= T* <= t``::
+
+    demand(0, t] <= Y1 + Y2 (1 - e^{-k'c t})
+                    - y2_min^0 (e^{-k'c T*} - e^{-k'c t})
+
+with ``(Y1, Y2)`` the pooled wells at the node.  The first ``t >= T*``
+where the load's cumulative demand exceeds this envelope upper-bounds the
+system death; the recovery-limited bound is its minimum with the pooled
+crossing.  With a single alive battery the feasibility check is exact and
+the refinement degenerates to the pooled bound itself, so the bound is
+admissible for every alive count.
+
+Everything here is expressed in the transformed analytical coordinates;
+discrete searches inflate the result by their documented
+``discrete_bound_slack_for`` margin exactly as they inflate the pooled
+bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.kibam.parameters import BatteryParameters
+
+__all__ = [
+    "PooledJobTable",
+    "burst_survival_coefficients",
+    "build_pooled_job_table",
+    "recovery_limited_refinements",
+]
+
+#: Feasibility comparisons err on the side of "feasible" by this margin so
+#: float noise can only weaken (never unsoundly tighten) the bound.
+_FEASIBILITY_EPSILON = 1e-9
+
+#: Bisection iterations for the demand-vs-envelope crossing (the bracket is
+#: at most one load segment, so 60 halvings reach ~1e-12 minutes).
+_BISECT_ITERATIONS = 60
+
+#: Per-table memo cap for tail-crossing results (clear-on-overflow, same
+#: policy as the searches' bound caches).
+_TAIL_CACHE_LIMIT = 65536
+
+
+def burst_survival_coefficients(
+    c: float, k_prime: float, current: float, duration: float
+) -> tuple:
+    """``(A, B)`` of the exact single-server burst threshold ``y1 >= A - B y2``.
+
+    A KiBaM battery with wells ``(y1, y2)`` serves ``current`` Ampere for
+    ``duration`` minutes without going empty iff ``y1 >= A - B * y2``;
+    the threshold is linear because both the terminal margin and the wells
+    are linear in the initial state.  ``B >= 0`` always.
+    """
+    decay = math.exp(-k_prime * duration)
+    delta_inf = current / (c * k_prime)
+    denom = c + (1.0 - c) * decay
+    a = c * (current * duration + (1.0 - decay) * (1.0 - c) * delta_inf) / denom
+    b = c * (1.0 - decay) / denom
+    return a, b
+
+
+@dataclasses.dataclass
+class PooledJobTable:
+    """Per-decision-point pooled-walk data shared by a batch of nodes.
+
+    The table depends only on the decision point and the pooled state --
+    which, before any battery death, is identical across every search node
+    at that decision point -- so both searches cache one table per pooled
+    bound-cache key and evaluate many nodes against it.
+
+    All times are relative to the decision point; ``crossing`` is the
+    perfect-pooling bound (unscaled).  Segments run up to and including the
+    segment containing the pooled crossing; jobs are the job segments among
+    them, with the exact pooled wells at each job start.
+    """
+
+    crossing: float
+    #: Segment grid (jobs and idles interleaved), clipped at the crossing.
+    seg_start: np.ndarray
+    seg_current: np.ndarray
+    seg_end: np.ndarray
+    #: Cumulative demand (Amin) from the decision point to each seg start.
+    seg_demand: np.ndarray
+    #: Job rows: start time, current, duration, pooled wells at start.
+    job_start: np.ndarray
+    job_a: np.ndarray
+    job_b: np.ndarray
+    job_end: np.ndarray
+    job_y1_pool: np.ndarray
+    job_y2_pool: np.ndarray
+    #: Memo for ``_tail_crossing`` results; nodes at the same decision point
+    #: frequently share well totals, so the solve is worth deduplicating.
+    tail_cache: dict = dataclasses.field(default_factory=dict)
+
+
+def build_pooled_job_table(
+    params: BatteryParameters,
+    currents: np.ndarray,
+    durations: np.ndarray,
+    epoch_index: int,
+    offset: float,
+    gamma: float,
+    delta: float,
+    time_to_empty_fn,
+) -> PooledJobTable:
+    """Walk the pooled battery through the remaining load, recording jobs.
+
+    ``time_to_empty_fn(params, gamma, delta, current, horizon)`` must return
+    the crossing time within the segment or ``None`` (both searches pass
+    their own solver so the walk reproduces their pooled bound exactly).
+    """
+    c = params.c
+    k_prime = params.k_prime
+    elapsed = 0.0
+    demand = 0.0
+    seg_start = []
+    seg_current = []
+    seg_end = []
+    seg_demand = []
+    job_start = []
+    job_a = []
+    job_b = []
+    job_end = []
+    job_y1 = []
+    job_y2 = []
+    crossing: Optional[float] = None
+    for index in range(epoch_index, len(currents)):
+        current = float(currents[index])
+        duration = float(durations[index]) - (offset if index == epoch_index else 0.0)
+        if duration <= 0.0:
+            continue
+        seg_start.append(elapsed)
+        seg_current.append(current)
+        seg_end.append(elapsed + duration)
+        seg_demand.append(demand)
+        if current > 0.0:
+            y1 = c * (gamma - (1.0 - c) * delta)
+            y2 = gamma - y1
+            a, b = burst_survival_coefficients(c, k_prime, current, duration)
+            job_start.append(elapsed)
+            job_a.append(a)
+            job_b.append(b)
+            job_end.append(elapsed + duration)
+            job_y1.append(y1)
+            job_y2.append(y2)
+        hit = time_to_empty_fn(params, gamma, delta, current, duration)
+        if hit is not None:
+            crossing = elapsed + hit
+            break
+        decay = math.exp(-k_prime * duration)
+        delta = current / (c * k_prime) + (delta - current / (c * k_prime)) * decay
+        gamma = gamma - current * duration
+        elapsed += duration
+        demand += current * duration
+    if crossing is None:
+        crossing = elapsed
+    return PooledJobTable(
+        crossing=crossing,
+        seg_start=np.asarray(seg_start, dtype=np.float64),
+        seg_current=np.asarray(seg_current, dtype=np.float64),
+        seg_end=np.asarray(seg_end, dtype=np.float64),
+        seg_demand=np.asarray(seg_demand, dtype=np.float64),
+        job_start=np.asarray(job_start, dtype=np.float64),
+        job_a=np.asarray(job_a, dtype=np.float64),
+        job_b=np.asarray(job_b, dtype=np.float64),
+        job_end=np.asarray(job_end, dtype=np.float64),
+        job_y1_pool=np.asarray(job_y1, dtype=np.float64),
+        job_y2_pool=np.asarray(job_y2, dtype=np.float64),
+    )
+
+
+def _tail_crossing(
+    table: PooledJobTable,
+    kc: float,
+    y1_total: float,
+    y2_total: float,
+    y2_min: float,
+    deadline: float,
+) -> float:
+    """First ``t >= deadline`` where cumulative demand beats the envelope.
+
+    The envelope is ``Y1 + Y2 (1 - e^{-kc t}) - y2_min (e^{-kc deadline} -
+    e^{-kc t})``; within one load segment the demand-minus-envelope margin
+    is convex, so a segment contains a crossing iff the margin at its end
+    is positive, and the crossing is the unique sign change before it.
+    Returns ``table.crossing`` when the demand never catches the envelope
+    (the pooled bound then stands un-refined).
+    """
+    # margin(t) = demand(t) - envelope(t)
+    #           = (base + current (t - seg_start)) - flat + sag * e^{-kc t}
+    # with flat = Y1 + Y2 - y2_min e^{-kc deadline} and sag = Y2 - y2_min.
+    flat = y1_total + y2_total - y2_min * math.exp(-kc * deadline)
+    sag = y2_total - y2_min
+    exp = math.exp
+    for seg in range(table.seg_start.shape[0]):
+        end = float(table.seg_end[seg])
+        if end <= deadline:
+            continue
+        seg_t0 = float(table.seg_start[seg])
+        start = max(seg_t0, deadline)
+        current = float(table.seg_current[seg])
+        base = float(table.seg_demand[seg])
+        m_start = base + current * (start - seg_t0) - flat + sag * exp(-kc * start)
+        if m_start > 0.0:
+            return start
+        m_end = base + current * (end - seg_t0) - flat + sag * exp(-kc * end)
+        if m_end <= 0.0:
+            continue
+        lo, hi = start, end
+        for _ in range(_BISECT_ITERATIONS):
+            mid = 0.5 * (lo + hi)
+            if base + current * (mid - seg_t0) - flat + sag * exp(-kc * mid) > 0.0:
+                hi = mid
+            else:
+                lo = mid
+        return hi
+    return table.crossing
+
+
+def recovery_limited_refinements(
+    table: PooledJobTable,
+    params: BatteryParameters,
+    y1: np.ndarray,
+    y2: np.ndarray,
+    alive: np.ndarray,
+) -> np.ndarray:
+    """Recovery-limited remaining-lifetime bounds for a batch of nodes.
+
+    Args:
+        table: the pooled job table of the shared decision point.
+        params: the pooled battery parameters (shared ``c``/``k'``).
+        y1 / y2: ``(n_nodes, n_batteries)`` per-battery wells at the node.
+        alive: matching boolean mask of non-empty batteries.
+
+    Returns:
+        ``(n_nodes,)`` unscaled bounds, each ``<= table.crossing`` (the
+        perfect-pooling bound) and admissible for the true remaining
+        lifetime of the node.
+    """
+    y1 = np.asarray(y1, dtype=np.float64)
+    y2 = np.asarray(y2, dtype=np.float64)
+    alive = np.asarray(alive, dtype=bool)
+    n_nodes = y1.shape[0]
+    out = np.full(n_nodes, table.crossing)
+    n_jobs = table.job_start.shape[0]
+    if n_jobs == 0:
+        return out
+    kc = params.k_prime * params.c
+
+    y1 = np.where(alive, y1, 0.0)
+    y2 = np.where(alive, y2, 0.0)
+    n_alive = alive.sum(axis=1)
+
+    # (J,) job-shared factors.
+    fade = np.exp(-kc * table.job_start)  # e^{-k'c s_j}
+    # (N, J, B) sound caps on each battery's wells at each job start.
+    y2_fade = y2[:, None, :] * fade[None, :, None]
+    others_floor = y2_fade.sum(axis=2, keepdims=True) - y2_fade
+    y2_cap = np.minimum(
+        y2[:, None, :], table.job_y2_pool[None, :, None] - others_floor
+    )
+    y1_cap = np.minimum(
+        table.job_y1_pool[None, :, None],
+        y1[:, None, :] + y2[:, None, :] * (1.0 - fade[None, :, None]),
+    )
+    required = table.job_a[None, :, None] - table.job_b[None, :, None] * y2_cap
+    feasible = (y1_cap >= required - _FEASIBILITY_EPSILON) & alive[:, None, :]
+    job_ok = feasible.any(axis=2)  # (N, J)
+
+    infeasible_any = ~job_ok.all(axis=1)
+    y2_min = np.where(alive, y2, np.inf).min(axis=1)
+    for node in np.flatnonzero(infeasible_any & (n_alive >= 2)):
+        first_bad = int(np.argmin(job_ok[node]))
+        y1_total = float(y1[node].sum())
+        y2_total = float(y2[node].sum())
+        y2_node_min = float(y2_min[node])
+        key = (
+            first_bad,
+            round(y1_total, 12),
+            round(y2_total, 12),
+            round(y2_node_min, 12),
+        )
+        tail = table.tail_cache.get(key)
+        if tail is None:
+            deadline = min(float(table.job_end[first_bad]), table.crossing)
+            tail = _tail_crossing(
+                table, kc, y1_total, y2_total, y2_node_min, deadline
+            )
+            if len(table.tail_cache) >= _TAIL_CACHE_LIMIT:
+                table.tail_cache.clear()
+            table.tail_cache[key] = tail
+        out[node] = min(table.crossing, tail)
+    return out

@@ -103,6 +103,7 @@ class SweepResult:
         complete: Optional[Dict[str, np.ndarray]] = None,
         nodes: Optional[Dict[str, np.ndarray]] = None,
         seeded: Optional[Dict[str, np.ndarray]] = None,
+        nodes_known: Optional[Dict[str, np.ndarray]] = None,
     ) -> None:
         self.spec = spec
         self.points = list(points)
@@ -119,9 +120,12 @@ class SweepResult:
         #: True where the search's incumbent was seeded by a neighboring
         #: grid point's schedule -- pure work accounting, the lifetimes are
         #: identical either way).  Chunks stored before these fields
-        #: existed aggregate as zeros.
+        #: existed leave their scenarios' ``nodes_known`` mask False; their
+        #: zeros are "unknown", not measurements, and must not be folded
+        #: into totals.
         self.nodes = nodes or {}
         self.seeded = seeded or {}
+        self.nodes_known = nodes_known or {}
 
     def incomplete_counts(self) -> Dict[str, int]:
         """Number of non-certified (capped) searches per policy column."""
@@ -240,14 +244,36 @@ class SweepResult:
                 "lifetimes are certified lower bounds, not proven optima"
             )
         node_counts = self.nodes.get(OPTIMAL_POLICY)
-        if node_counts is not None and int(node_counts.sum()) > 0:
+        if node_counts is not None and node_counts.shape[0]:
+            known = self.nodes_known.get(OPTIMAL_POLICY)
+            if known is None:
+                # Results built before the mask existed: keep the legacy
+                # behavior of treating every scenario as measured.
+                known = np.ones(node_counts.shape[0], dtype=bool)
+            n_known = int(known.sum())
+            n_unknown = node_counts.shape[0] - n_known
             seeded_mask = self.seeded.get(OPTIMAL_POLICY)
-            n_seeded = int(seeded_mask.sum()) if seeded_mask is not None else 0
-            lines.append(
-                f"optimal search: {int(node_counts.sum()):,} nodes expanded "
-                f"over {node_counts.shape[0]} searches, {n_seeded} seeded by "
-                "a neighboring grid point (seeding prunes work, never results)"
+            n_seeded = (
+                int(seeded_mask[known].sum()) if seeded_mask is not None else 0
             )
+            if n_known and int(node_counts[known].sum()) > 0:
+                line = (
+                    f"optimal search: {int(node_counts[known].sum()):,} "
+                    f"nodes expanded over {n_known} searches, {n_seeded} "
+                    "seeded by a neighboring grid point (seeding prunes "
+                    "work, never results)"
+                )
+                if n_unknown:
+                    line += (
+                        f"; {n_unknown} searches predate per-scenario node "
+                        "accounting (counts unknown, not zero)"
+                    )
+                lines.append(line)
+            elif n_unknown:
+                lines.append(
+                    f"optimal search: node counts unknown ({n_unknown} "
+                    "searches predate per-scenario node accounting)"
+                )
         return "\n".join(lines)
 
 
@@ -340,6 +366,11 @@ class SweepRunner:
             if spec.has_optimal
             else {}
         )
+        nodes_known = (
+            {OPTIMAL_POLICY: np.zeros(len(points), dtype=bool)}
+            if spec.has_optimal
+            else {}
+        )
 
         for chunk_index, (start, stop) in enumerate(bounds):
             cached = (
@@ -382,6 +413,7 @@ class SweepRunner:
                     complete[policy][start:stop] = fields["complete"].astype(bool)
                 if policy in nodes and "nodes" in fields:
                     nodes[policy][start:stop] = fields["nodes"]
+                    nodes_known[policy][start:stop] = True
                 if policy in seeded and "seeded" in fields:
                     seeded[policy][start:stop] = fields["seeded"].astype(bool)
 
@@ -396,6 +428,7 @@ class SweepRunner:
             complete=complete,
             nodes=nodes,
             seeded=seeded,
+            nodes_known=nodes_known,
         )
 
     def load(self, spec: SweepSpec) -> SweepResult:

@@ -624,3 +624,49 @@ class TestPoolingBoundParity:
             gamma, delta, np.array([0]), np.array([0.0])
         )[0]
         assert bound == pytest.approx(scalar_bound, abs=1e-9)
+
+
+class TestBoundCacheCaps:
+    """The bound memo dicts are size-capped (clear-on-overflow): long sweep
+    chains must not grow them without limit, and a tiny cap may cost repeat
+    work but never changes any result."""
+
+    CAP = 8
+
+    def test_batched_caches_honor_the_cap_with_unchanged_results(
+        self, all_loads, monkeypatch
+    ):
+        import repro.engine.optimal_batch as ob
+        import repro.kibam.bounds as kb
+
+        load = all_loads["ILs alt"]
+        baseline = find_optimal_schedule_batched([SCALED, SCALED], load)
+        monkeypatch.setattr(ob, "_BOUND_CACHE_LIMIT", self.CAP)
+        monkeypatch.setattr(kb, "_TAIL_CACHE_LIMIT", self.CAP)
+        scheduler = BatchOptimalScheduler([SCALED, SCALED], load)
+        capped = scheduler.search()
+        assert capped.lifetime == pytest.approx(baseline.lifetime, abs=1e-9)
+        assert capped.assignment == baseline.assignment
+        assert capped.nodes_expanded == baseline.nodes_expanded
+        evaluator = scheduler._ops.bounds
+        assert 0 < len(evaluator._cache) <= self.CAP
+        assert len(evaluator._job_tables) <= self.CAP
+        for table in evaluator._job_tables.values():
+            assert len(table.tail_cache) <= self.CAP
+
+    def test_scalar_caches_honor_the_cap_with_unchanged_results(
+        self, all_loads, monkeypatch
+    ):
+        import repro.core.optimal as co
+
+        load = all_loads["ILs alt"]
+        baseline = find_optimal_schedule([SCALED, SCALED], load)
+        monkeypatch.setattr(co, "_BOUND_CACHE_LIMIT", self.CAP)
+        scheduler = OptimalScheduler(make_battery_models([SCALED, SCALED]), load)
+        capped = scheduler.search()
+        assert capped.lifetime == pytest.approx(baseline.lifetime, abs=1e-9)
+        assert capped.assignment == baseline.assignment
+        assert capped.nodes_expanded == baseline.nodes_expanded
+        assert 0 < len(scheduler._bound_cache) <= self.CAP
+        assert len(scheduler._rl_cache) <= self.CAP
+        assert len(scheduler._job_table_cache) <= self.CAP

@@ -307,6 +307,108 @@ class TestSchedulingProperties:
             seeded.complete["optimal"], fresh.complete["optimal"]
         )
 
+
+class TestRecoveryLimitedBoundProperties:
+    """The recovery-limited refinement of the pooling bound stays admissible.
+
+    Random loads x random battery pairs (shared ``c``/``k'`` so pooling
+    applies; capacities differ).  Admissibility is checked the strong way:
+    a certified (tolerance-0, uncapped-within-budget) search with the
+    refinement enabled must return exactly the lifetime of a certified
+    search with the refinement disabled -- if the bound ever dipped below
+    the true remaining optimum at *any* node, the refined search would
+    prune the optimal schedule and come back lower.
+    """
+
+    @staticmethod
+    def _without_refinement(run):
+        from repro.core.optimal import OptimalScheduler
+
+        original = OptimalScheduler._recovery_limited_bound
+        OptimalScheduler._recovery_limited_bound = lambda self, *a, **k: None
+        try:
+            return run()
+        finally:
+            OptimalScheduler._recovery_limited_bound = original
+
+    @given(
+        load=short_loads(),
+        cap_a=st.floats(min_value=0.4, max_value=1.2),
+        cap_b=st.floats(min_value=0.4, max_value=1.2),
+        c=st.floats(min_value=0.1, max_value=0.4),
+        k_prime=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_analytical_bound_is_admissible_and_no_looser_than_pooling(
+        self, load, cap_a, cap_b, c, k_prime
+    ):
+        from repro.core.battery import make_battery_models
+        from repro.core.optimal import OptimalScheduler
+
+        if load.job_count == 0:
+            return
+        pair = [
+            BatteryParameters(capacity=cap_a, c=c, k_prime=k_prime),
+            BatteryParameters(capacity=cap_b, c=c, k_prime=k_prime),
+        ]
+        long_load = load.repeated(10)
+        refined_search = find_optimal_schedule(pair, long_load, max_nodes=3000)
+        baseline = self._without_refinement(
+            lambda: find_optimal_schedule(pair, long_load, max_nodes=3000)
+        )
+        if not (refined_search.complete and baseline.complete):
+            return
+        assert refined_search.lifetime == pytest.approx(
+            baseline.lifetime, abs=1e-9
+        )
+        # Root-bound hierarchy: recovery-limited <= perfect pooling, and
+        # both stay above the certified optimum.
+        scheduler = OptimalScheduler(make_battery_models(pair), long_load)
+        states = tuple(model.initial_state() for model in scheduler.models)
+        pooled = scheduler._pooled_bound(states, 0, 0.0)
+        refined = scheduler._recovery_limited_bound(states, 0, 0.0)
+        assert pooled >= baseline.lifetime - 1e-9
+        if refined is not None:
+            assert refined <= pooled + 1e-9
+            assert refined >= baseline.lifetime - 1e-9
+
+    @given(load=short_loads(), cap=st.floats(min_value=0.4, max_value=1.2))
+    @settings(max_examples=6, deadline=None)
+    def test_coarse_discrete_bound_falls_back_to_admissible_pooling(
+        self, load, cap
+    ):
+        """dKiBaM searches keep the slack-inflated pooling bound: the
+        chain-feasibility half of the refinement is a theorem of the
+        continuous dynamics only (tick rounding can keep a marginal burst
+        alive), so the refinement must gate itself off and the effective
+        root bound must still cover the certified discrete optimum (up to
+        the same tick-granularity allowance as the coarse-discrete bracket
+        property above: the relative slack covers the models' rate
+        mismatch, the crossing itself lands on a tick)."""
+        from repro.core.battery import make_battery_models
+        from repro.core.optimal import OptimalScheduler
+
+        if load.job_count == 0:
+            return
+        pair = [
+            BatteryParameters(capacity=cap, c=0.166, k_prime=0.122),
+            BatteryParameters(capacity=cap, c=0.166, k_prime=0.122),
+        ]
+        coarse = dict(time_step=0.1, charge_unit=0.1)
+        long_load = load.repeated(10)
+        result = find_optimal_schedule(
+            pair, long_load, backend="discrete", max_nodes=3000, **coarse
+        )
+        if not result.complete:
+            return
+        scheduler = OptimalScheduler(
+            make_battery_models(pair, backend="discrete", **coarse), long_load
+        )
+        states = tuple(model.initial_state() for model in scheduler.models)
+        assert scheduler._recovery_limited_bound(states, 0, 0.0) is None
+        root_bound = scheduler._remaining_lifetime_bound(states, 0, 0.0)
+        assert root_bound >= result.lifetime - 0.5
+
     @given(load=short_loads())
     @settings(max_examples=20, deadline=None)
     def test_schedule_segments_cover_the_lifetime(self, load):

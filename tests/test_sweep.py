@@ -911,6 +911,39 @@ class TestOptimalSeeding:
         plain = SweepRunner(None).run(small_spec(n_samples=2))
         assert "optimal search:" not in plain.render()
 
+    def test_render_reports_legacy_chunks_as_unknown(self, tmp_path):
+        """Chunks persisted before per-scenario ``nodes``/``seeded`` existed
+        load back without those fields; the footer must report their node
+        counts as unknown instead of folding zeros into the totals."""
+        spec = self.grid_spec()
+        store = ResultStore(tmp_path / "store")
+        SweepRunner(store).run(spec)
+        spec_hash = spec.spec_hash()
+        for index in range(spec.n_chunks):
+            chunk = store.load_chunk(spec_hash, index, spec.policies)
+            for fields in chunk.values():
+                fields.pop("nodes", None)
+                fields.pop("seeded", None)
+            store.save_chunk(spec_hash, index, chunk, 0.0)
+        warm = SweepRunner(store).run(spec)
+        assert warm.stats.chunks_run == 0
+        assert not warm.nodes_known["optimal"].any()
+        rendered = warm.render()
+        assert "node counts unknown" in rendered
+        assert "nodes expanded" not in rendered
+
+    def test_render_separates_legacy_and_measured_chunks(self):
+        """A mixed store (legacy + current chunks) totals only the measured
+        scenarios and annotates how many searches predate the accounting."""
+        seeded, _ = self.run_pair(self.grid_spec())
+        known = seeded.nodes_known["optimal"]
+        assert known.all()
+        known[0] = False
+        rendered = seeded.render()
+        measured = int(seeded.nodes["optimal"][known].sum())
+        assert f"{measured:,} nodes expanded" in rendered
+        assert "1 searches predate per-scenario node accounting" in rendered
+
     def test_seed_chains_group_by_load_and_sort_by_capacity(self):
         from repro.sweep import optimal_seed_chains
 
