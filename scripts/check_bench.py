@@ -44,7 +44,10 @@ from typing import List, Optional, Tuple
 #: ``certification_nodes_ratio`` is the reference-over-current expanded-node
 #: ratio on the certification-floor loads (also deterministic -- a drop
 #: means the admissible bound got looser and the search re-expanded nodes
-#: the recovery-limited bound used to prune).
+#: the recovery-limited bound used to prune).  ``group_symmetry_nodes_ratio``
+#: is the without-over-with expanded-node ratio of the group-wise symmetry
+#: reduction on identical-subgroup fleets (deterministic -- a drop means
+#: permuted-duplicate schedules stopped being pruned).
 CHECKS: Tuple[Tuple[str, str], ...] = (
     ("BENCH_engine.json", "speedup"),
     ("BENCH_sweep.json", "cache_hit_speedup"),
@@ -52,6 +55,7 @@ CHECKS: Tuple[Tuple[str, str], ...] = (
     ("BENCH_optimal.json", "speedup"),
     ("BENCH_optimal.json", "sweep_nodes_ratio"),
     ("BENCH_optimal.json", "certification_nodes_ratio"),
+    ("BENCH_fleet.json", "group_symmetry_nodes_ratio"),
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]

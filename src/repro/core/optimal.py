@@ -13,7 +13,9 @@ a direct search over the scheduling decisions:
 * the search is exhaustive up to three sound prunings: an admissible upper
   bound on the remaining lifetime (the batteries cannot deliver more than
   the total charge they still hold), dominance pruning between states at the
-  same decision point, and symmetry reduction for identical batteries.
+  same decision point, and group-wise symmetry reduction between identical
+  batteries (heterogeneous fleets prune within each identical-parameter
+  group).
 
 The search runs on any :class:`repro.core.battery.BatteryModel` backend.
 The analytical backend reproduces Table 5 in seconds; the discrete backend
@@ -25,7 +27,8 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Any, List, Optional, Sequence, Tuple
+import math
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,6 +50,81 @@ _DOMINANCE_EPSILON = 1e-9
 #: full cache costs one recomputation burst while an unbounded cache grows
 #: with the number of distinct pooled states ever seen.
 _BOUND_CACHE_LIMIT = 65536
+#: Cap on the number of within-group battery permutations enumerated per
+#: dominance check.  Beyond this the quadratic pairing cost outweighs the
+#: extra pruning and the archive falls back to the identity pairing (the
+#: sorted-per-group signatures still catch exact permuted duplicates).
+_MAX_SYMMETRY_PERMUTATIONS = 24
+
+
+def parameter_symmetry_groups(keys: Iterable[Any]) -> Tuple[int, ...]:
+    """Per-battery symmetry-group ids for a sequence of hashable keys.
+
+    Batteries with equal keys (parameter sets, for the optimal searches)
+    land in the same group; group ids are assigned in first-appearance
+    order, so two schedulers built from the same parameter sequence agree
+    on the grouping exactly -- the property the scalar/batched
+    decision-for-decision pinning relies on.
+    """
+    ids: dict = {}
+    return tuple(ids.setdefault(key, len(ids)) for key in keys)
+
+
+def model_symmetry_groups(models: Sequence[BatteryModel]) -> Tuple[int, ...]:
+    """Symmetry groups for battery *models*: identical type + parameters.
+
+    Models without a ``params`` attribute are never considered
+    interchangeable; discrete models additionally key on their
+    discretization so differently gridded dKiBaM instances stay distinct.
+    """
+    keys: List[Any] = []
+    for index, model in enumerate(models):
+        params = getattr(model, "params", None)
+        if params is None:
+            keys.append(("opaque", index))
+            continue
+        kibam = getattr(model, "kibam", None)
+        if kibam is not None:
+            keys.append(
+                (type(model).__name__, params, kibam.time_step, kibam.charge_unit)
+            )
+        else:
+            keys.append((type(model).__name__, params))
+    return parameter_symmetry_groups(keys)
+
+
+def group_permutations(
+    groups: Sequence[int], limit: int = _MAX_SYMMETRY_PERMUTATIONS
+) -> List[Tuple[int, ...]]:
+    """All battery-index permutations that only shuffle within a group.
+
+    The product of the per-group factorials is the number of sound
+    pairings for the dominance check; when it exceeds ``limit`` only the
+    identity is returned (checking them all would cost more than the
+    pruning saves).  The identity permutation is always first.
+    """
+    n = len(groups)
+    members: dict = {}
+    for index, group in enumerate(groups):
+        members.setdefault(group, []).append(index)
+    total = 1
+    for indices in members.values():
+        total *= math.factorial(len(indices))
+        if total > limit:
+            return [tuple(range(n))]
+    perms: List[List[int]] = [list(range(n))]
+    for indices in members.values():
+        if len(indices) < 2:
+            continue
+        extended: List[List[int]] = []
+        for perm in perms:
+            for ordering in itertools.permutations(indices):
+                candidate = perm[:]
+                for slot, source in zip(indices, ordering):
+                    candidate[slot] = source
+                extended.append(candidate)
+        perms = extended
+    return [tuple(perm) for perm in perms]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,10 +201,29 @@ class DominanceArchive:
         symmetric: bool,
         dominance_tolerance: float = 0.0,
         archive_limit: int = 64,
+        groups: Optional[Sequence[int]] = None,
     ) -> None:
         self.symmetric = symmetric
         self.dominance_tolerance = dominance_tolerance
         self.archive_limit = archive_limit
+        #: Optional per-battery symmetry-group ids (see
+        #: :func:`parameter_symmetry_groups`).  When given, signatures are
+        #: canonicalized per group and dominance checks enumerate the
+        #: within-group permutation products, superseding the all-or-nothing
+        #: ``symmetric`` flag (kept for the legacy two-state construction).
+        self.groups: Optional[Tuple[int, ...]] = (
+            tuple(groups) if groups is not None else None
+        )
+        self._group_members: Tuple[Tuple[int, ...], ...] = ()
+        self._perms: List[Tuple[int, ...]] = []
+        if self.groups is not None:
+            members: dict = {}
+            for index, group in enumerate(self.groups):
+                members.setdefault(group, []).append(index)
+            self._group_members = tuple(
+                tuple(indices) for indices in members.values() if len(indices) > 1
+            )
+            self._perms = group_permutations(self.groups)
         self._archives: dict = {}
 
     def _vector_dominates(self, a: Tuple[float, ...], b: Tuple[float, ...]) -> bool:
@@ -140,11 +237,20 @@ class DominanceArchive:
     ) -> bool:
         """Whether battery-state matrix ``a`` dominates ``b``.
 
-        With identical batteries any pairing of ``a``'s batteries against
-        ``b``'s is allowed; for small battery counts all permutations are
-        checked, otherwise only the identity pairing.
+        Batteries in the same symmetry group are interchangeable, so any
+        pairing of ``a``'s batteries against ``b``'s that respects the
+        grouping is allowed; when the within-group permutation count stays
+        under :data:`_MAX_SYMMETRY_PERMUTATIONS` they are all checked,
+        otherwise only the identity pairing.
         """
         n = len(a)
+        if self.groups is not None:
+            for permutation in self._perms:
+                if all(
+                    self._vector_dominates(a[permutation[i]], b[i]) for i in range(n)
+                ):
+                    return True
+            return False
         if self.symmetric and n <= 3:
             for permutation in itertools.permutations(range(n)):
                 if all(self._vector_dominates(a[permutation[i]], b[i]) for i in range(n)):
@@ -155,12 +261,25 @@ class DominanceArchive:
     def _canonical_signature(
         self, matrix: Tuple[Tuple[float, ...], ...]
     ) -> Tuple[Tuple[float, ...], ...]:
-        """Quantized, permutation-canonical form of a dominance matrix."""
+        """Quantized, permutation-canonical form of a dominance matrix.
+
+        Rows are sorted *within* each symmetry group (all rows, in the
+        legacy fully-symmetric mode), so assignment orders that only
+        permute identical batteries collapse to one signature.
+        """
         scale = max(self.dominance_tolerance, 1e-9)
         quantized = tuple(
             tuple(round(value / scale) if value not in (float("inf"), float("-inf")) else value for value in vector)
             for vector in matrix
         )
+        if self.groups is not None:
+            canonical = list(quantized)
+            for members in self._group_members:
+                for slot, row in zip(
+                    members, sorted(quantized[index] for index in members)
+                ):
+                    canonical[slot] = row
+            return tuple(canonical)
         if self.symmetric:
             return tuple(sorted(quantized))
         return quantized
@@ -244,6 +363,10 @@ class OptimalScheduler:
             ``complete=False``.
         use_dominance: enable dominance pruning (on by default; turning it
             off is only useful for the ablation benchmarks).
+        use_symmetry: enable symmetry reduction between identical batteries
+            (on by default; turning it off -- every battery its own
+            group -- is only useful for ablation measurements such as the
+            fleet benchmark's group-symmetry nodes ratio).
         archive_limit: maximum number of states kept per decision point for
             dominance checks.
     """
@@ -256,6 +379,7 @@ class OptimalScheduler:
         use_dominance: bool = True,
         archive_limit: int = 64,
         dominance_tolerance: float = 0.0,
+        use_symmetry: bool = True,
     ) -> None:
         if not models:
             raise ValueError("at least one battery model is required")
@@ -275,7 +399,16 @@ class OptimalScheduler:
         self.dominance_tolerance = dominance_tolerance
         self._epochs = load.epochs
         self._epoch_starts = load.epoch_start_times()
-        self._symmetric = self._all_batteries_identical()
+        self.use_symmetry = use_symmetry
+        #: Per-battery symmetry-group ids: batteries in the same group are
+        #: interchangeable (identical model type + parameters).  With
+        #: ``use_symmetry=False`` every battery is its own group, which
+        #: turns every symmetry mechanism into a no-op.
+        self._groups = (
+            model_symmetry_groups(self.models)
+            if use_symmetry
+            else tuple(range(len(self.models)))
+        )
         self._pooled_params = self._pooling_parameters()
         self._bound_slack = discrete_bound_slack(self.models[0])
         # Search state.
@@ -284,9 +417,10 @@ class OptimalScheduler:
         self._nodes_expanded = 0
         self._complete = True
         self._archive = DominanceArchive(
-            symmetric=self._symmetric,
+            symmetric=len(set(self._groups)) == 1,
             dominance_tolerance=dominance_tolerance,
             archive_limit=archive_limit,
+            groups=self._groups,
         )
         self._bound_cache: dict = {}
         self._job_table_cache: dict = {}
@@ -339,16 +473,6 @@ class OptimalScheduler:
     # ------------------------------------------------------------------ #
     # search internals
     # ------------------------------------------------------------------ #
-    def _all_batteries_identical(self) -> bool:
-        first = self.models[0]
-        params = getattr(first, "params", None)
-        if params is None:
-            return False
-        return all(
-            type(model) is type(first) and getattr(model, "params", None) == params
-            for model in self.models
-        )
-
     def _pooling_parameters(self) -> Optional[BatteryParameters]:
         """Parameters of the pooled bound battery, if every model is KiBaM-shaped.
 
@@ -442,10 +566,21 @@ class OptimalScheduler:
         ordered = sorted(
             alive, key=lambda index: -self.models[index].available_charge(states[index])
         )
-        if self._symmetric and offset == 0.0 and node.time == 0.0:
-            # All batteries are full at the very first decision: exploring
-            # more than one of them is redundant.
-            ordered = ordered[:1]
+        if offset == 0.0 and node.time == 0.0:
+            # All batteries are full at the very first decision: within a
+            # symmetry group the choices are interchangeable, so explore one
+            # representative per group (a no-op when every group is a
+            # singleton).  The stable sort keeps the representative the
+            # first-listed battery of its group, matching the batched search.
+            seen_groups = set()
+            representatives = []
+            for index in ordered:
+                group = self._groups[index]
+                if group in seen_groups:
+                    continue
+                seen_groups.add(group)
+                representatives.append(index)
+            ordered = representatives
         for choice in ordered:
             outcome = self.models[choice].step(states[choice], epoch.current, remaining)
             span = outcome.emptied_after if outcome.emptied else remaining
@@ -594,7 +729,9 @@ class OptimalScheduler:
         gamma = sum(w[0] + w[1] for w, ok in zip(wells, alive) if ok)
         y1_pool = sum(w[0] for w, ok in zip(wells, alive) if ok)
         delta = (gamma - y1_pool / c) / (1.0 - c)
-        # Identical batteries make the bound permutation-invariant.
+        # The bound depends only on the *multiset* of per-battery wells
+        # (all batteries share c/k' whenever pooled params exist), so the
+        # cache key sorts the wells -- sound for heterogeneous fleets too.
         well_sig = tuple(
             sorted((round(w[0], 9), round(w[1], 9)) for w, ok in zip(wells, alive) if ok)
         )
@@ -679,6 +816,7 @@ def find_optimal_schedule(
     max_nodes: Optional[int] = None,
     use_dominance: bool = True,
     dominance_tolerance: float = 0.0,
+    use_symmetry: bool = True,
 ) -> OptimalScheduleResult:
     """Find the schedule that maximizes the system lifetime.
 
@@ -699,6 +837,9 @@ def find_optimal_schedule(
             states are merged.  Zero (the default) certifies optimality; a
             small value such as one dKiBaM charge unit (0.01 Amin) makes the
             longest loads tractable with a negligible effect on the result.
+        use_symmetry: disable only for ablation experiments (symmetry
+            reduction between identical batteries never changes the result,
+            only the node count).
 
     Returns:
         An :class:`OptimalScheduleResult` with the maximal lifetime, a
@@ -713,5 +854,6 @@ def find_optimal_schedule(
         max_nodes=max_nodes,
         use_dominance=use_dominance,
         dominance_tolerance=dominance_tolerance,
+        use_symmetry=use_symmetry,
     )
     return scheduler.search()

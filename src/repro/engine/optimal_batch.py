@@ -75,6 +75,8 @@ from repro.core.optimal import (
     OptimalScheduleResult,
     OptimalScheduler,
     discrete_bound_slack_for,
+    group_permutations,
+    parameter_symmetry_groups,
 )
 from repro.core.policies import FixedAssignmentPolicy, make_policy
 from repro.core.simulator import MultiBatterySimulator
@@ -122,6 +124,42 @@ _DOMINANCE_EPSILON = 1e-9
 _BIG = DISCRETE_UNREACHABLE
 
 
+def _resolve_groups(
+    groups: Optional[Sequence[int]], symmetric: bool, n_batteries: int
+) -> Tuple[int, ...]:
+    """Per-battery symmetry groups with the legacy-flag fallback.
+
+    When no explicit groups are given the all-or-nothing ``symmetric``
+    flag is honored: one shared group for identical batteries, singleton
+    groups otherwise.
+    """
+    if groups is not None:
+        return tuple(groups)
+    if symmetric:
+        return (0,) * n_batteries
+    return tuple(range(n_batteries))
+
+
+def _group_representatives(
+    ordered: Sequence[int], groups: Sequence[int]
+) -> List[int]:
+    """First battery of each symmetry group, in ``ordered`` order.
+
+    Mirrors the scalar search's root-decision prune: the stable
+    most-available-first sort puts the first-listed battery of each group
+    first, so both searches pick identical representatives.
+    """
+    seen = set()
+    representatives: List[int] = []
+    for index in ordered:
+        group = groups[index]
+        if group in seen:
+            continue
+        seen.add(group)
+        representatives.append(index)
+    return representatives
+
+
 class VectorDominanceArchive:
     """Array-backed port of :class:`repro.core.optimal.DominanceArchive`.
 
@@ -141,12 +179,33 @@ class VectorDominanceArchive:
         n_batteries: int,
         dominance_tolerance: float = 0.0,
         archive_limit: int = 64,
+        groups: Optional[Sequence[int]] = None,
     ) -> None:
         self.symmetric = symmetric
         self.archive_limit = archive_limit
         self._slack = _DOMINANCE_EPSILON + dominance_tolerance
         self._scale = max(dominance_tolerance, 1e-9)
-        if symmetric and n_batteries <= 3:
+        #: Optional per-battery symmetry-group ids (see
+        #: :func:`repro.core.optimal.parameter_symmetry_groups`).  When
+        #: given they supersede the all-or-nothing ``symmetric`` flag:
+        #: signatures sort rows per group, dominance pairs via the
+        #: within-group permutation products -- identical semantics to the
+        #: scalar archive's group mode.
+        self.groups: Optional[Tuple[int, ...]] = (
+            tuple(groups) if groups is not None else None
+        )
+        self._group_members: Tuple[Tuple[int, ...], ...] = ()
+        if self.groups is not None:
+            members: dict = {}
+            for index, group in enumerate(self.groups):
+                members.setdefault(group, []).append(index)
+            self._group_members = tuple(
+                tuple(indices) for indices in members.values() if len(indices) > 1
+            )
+            self._perms = np.array(
+                group_permutations(self.groups), dtype=np.int64
+            )
+        elif symmetric and n_batteries <= 3:
             self._perms = np.array(
                 list(itertools.permutations(range(n_batteries))), dtype=np.int64
             )
@@ -157,6 +216,13 @@ class VectorDominanceArchive:
     def _signature(self, matrix: np.ndarray):
         quantized = np.where(np.isinf(matrix), matrix, np.round(matrix / self._scale))
         rows = [tuple(row) for row in quantized]
+        if self.groups is not None:
+            for members in self._group_members:
+                for slot, row in zip(
+                    members, sorted(rows[index] for index in members)
+                ):
+                    rows[slot] = row
+            return tuple(rows)
         if self.symmetric:
             rows.sort()
         return tuple(rows)
@@ -689,12 +755,17 @@ class _AnalyticalOps:
     model = "analytical"
 
     def __init__(
-        self, params: Sequence[BatteryParameters], load: Load, symmetric: bool
+        self,
+        params: Sequence[BatteryParameters],
+        load: Load,
+        symmetric: bool,
+        groups: Optional[Sequence[int]] = None,
     ) -> None:
         self.params = tuple(params)
         self.kp = KernelParams.from_parameters(params)
         self.n_batteries = len(params)
         self.symmetric = symmetric
+        self.groups = _resolve_groups(groups, symmetric, self.n_batteries)
         epochs = load.epochs
         self.currents = np.array([e.current for e in epochs], dtype=np.float64)
         self.durations = np.array([e.duration for e in epochs], dtype=np.float64)
@@ -760,10 +831,11 @@ class _AnalyticalOps:
             # Most available charge first; ``sorted`` is stable, so ties
             # keep index order -- identical to the scalar ordering.
             ordered = sorted(usable, key=lambda j: -avail[i, j])
-            if self.symmetric and offset[i] == 0.0 and time[i] == 0.0:
-                # All batteries are full at the very first decision:
-                # exploring more than one of them is redundant.
-                ordered = ordered[:1]
+            if offset[i] == 0.0 and time[i] == 0.0:
+                # All batteries are full at the very first decision: one
+                # representative per symmetry group suffices (a no-op for
+                # all-singleton groups), exactly like the scalar search.
+                ordered = _group_representatives(ordered, self.groups)
             for j in ordered:
                 parents.append(i)
                 choices.append(j)
@@ -1041,10 +1113,12 @@ class _DiscreteOps:
         symmetric: bool,
         time_step: float,
         charge_unit: float,
+        groups: Optional[Sequence[int]] = None,
     ) -> None:
         self.params = tuple(params)
         self.n_batteries = len(params)
         self.symmetric = symmetric
+        self.groups = _resolve_groups(groups, symmetric, self.n_batteries)
         self.time_step = time_step
         self.charge_unit = charge_unit
         self.dp = KernelParams.from_parameters(params).discretize(
@@ -1136,8 +1210,10 @@ class _DiscreteOps:
         for i in range(slots.shape[0]):
             usable = np.flatnonzero(alive[i]).tolist()
             ordered = sorted(usable, key=lambda j: -avail[i, j])
-            if self.symmetric and offset[i] == 0 and time[i] == 0:
-                ordered = ordered[:1]
+            if offset[i] == 0 and time[i] == 0:
+                # One representative per symmetry group at the very first
+                # decision, exactly like the scalar search.
+                ordered = _group_representatives(ordered, self.groups)
             for j in ordered:
                 parents.append(i)
                 choices.append(j)
@@ -1516,6 +1592,10 @@ class BatchOptimalScheduler:
         batch_size: frontier nodes expanded per vectorized round.  Larger
             batches amortize the NumPy call overhead further but expand
             against a staler incumbent; the default balances the two.
+        use_symmetry: enable group-wise symmetry reduction between
+            batteries with identical parameters (off only for ablation
+            measurements -- symmetry never changes the result, only the
+            node count).
     """
 
     def __init__(
@@ -1530,6 +1610,7 @@ class BatchOptimalScheduler:
         archive_limit: Optional[int] = None,
         dominance_tolerance: float = 0.0,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        use_symmetry: bool = True,
     ) -> None:
         if not params:
             raise ValueError("at least one battery parameter set is required")
@@ -1559,18 +1640,30 @@ class BatchOptimalScheduler:
         self.archive_limit = archive_limit
         self.dominance_tolerance = dominance_tolerance
         self.batch_size = batch_size
-        symmetric = all(p == self.params[0] for p in self.params)
+        self.use_symmetry = use_symmetry
+        # Same grouping rule as the scalar search's model_symmetry_groups:
+        # batteries with equal parameter sets are interchangeable (all
+        # batteries of one search share the model and discretization, so
+        # parameter equality is the whole key here).
+        groups = (
+            parameter_symmetry_groups(self.params)
+            if use_symmetry
+            else tuple(range(len(self.params)))
+        )
+        self._groups = groups
+        symmetric = len(set(groups)) == 1
         if model == "discrete":
             self._ops = _DiscreteOps(
-                self.params, load, symmetric, time_step, charge_unit
+                self.params, load, symmetric, time_step, charge_unit, groups=groups
             )
         else:
-            self._ops = _AnalyticalOps(self.params, load, symmetric)
+            self._ops = _AnalyticalOps(self.params, load, symmetric, groups=groups)
         self._archive = VectorDominanceArchive(
             symmetric=symmetric,
             n_batteries=len(self.params),
             dominance_tolerance=dominance_tolerance,
             archive_limit=archive_limit,
+            groups=groups,
         )
         self._best_lifetime = float("-inf")
         self._best_assignment: Tuple[int, ...] = ()
@@ -1837,6 +1930,7 @@ def find_optimal_schedule_batched(
     batch_size: int = DEFAULT_BATCH_SIZE,
     seed_assignment: Optional[Sequence[int]] = None,
     archive_limit: Optional[int] = None,
+    use_symmetry: bool = True,
 ) -> OptimalScheduleResult:
     """Batched counterpart of :func:`repro.core.optimal.find_optimal_schedule`.
 
@@ -1860,6 +1954,7 @@ def find_optimal_schedule_batched(
             max_nodes=max_nodes,
             use_dominance=use_dominance,
             dominance_tolerance=dominance_tolerance,
+            use_symmetry=use_symmetry,
         )
         return scheduler.search()
     scheduler = BatchOptimalScheduler(
@@ -1873,6 +1968,7 @@ def find_optimal_schedule_batched(
         archive_limit=archive_limit,
         dominance_tolerance=dominance_tolerance,
         batch_size=batch_size,
+        use_symmetry=use_symmetry,
     )
     return scheduler.search(seed_assignment=seed_assignment)
 

@@ -60,6 +60,15 @@ crossing.  With a single alive battery the feasibility check is exact and
 the refinement degenerates to the pooled bound itself, so the bound is
 admissible for every alive count.
 
+Nothing in either half fixes the number of batteries: the per-battery caps,
+the feasibility sweep and the stranded-charge envelope are rows of
+``(n_nodes, n_batteries)`` arrays, so the same bounds serve 2-battery pairs
+and N-battery fleets alike.  The admissibility argument is per-fleet --
+"no battery passes its optimistic cap" quantifies over however many
+batteries are alive -- and the nightly fleet property suite asserts the
+root hierarchy ``total-charge >= pooling >= recovery-limited >= certified
+optimum`` on random 2-6 battery heterogeneous fleets.
+
 Everything here is expressed in the transformed analytical coordinates;
 discrete searches inflate the result by their documented
 ``discrete_bound_slack_for`` margin exactly as they inflate the pooled
@@ -295,6 +304,10 @@ def recovery_limited_refinements(
     y1 = np.asarray(y1, dtype=np.float64)
     y2 = np.asarray(y2, dtype=np.float64)
     alive = np.asarray(alive, dtype=bool)
+    if y1.shape != y2.shape or y1.shape != alive.shape or y1.ndim != 2:
+        raise ValueError(
+            "y1, y2 and alive must share one (n_nodes, n_batteries) shape"
+        )
     n_nodes = y1.shape[0]
     out = np.full(n_nodes, table.crossing)
     n_jobs = table.job_start.shape[0]

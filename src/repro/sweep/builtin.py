@@ -16,6 +16,13 @@ reproduces (and caches) them:
   loads, where the residual-charge fraction collapses as capacity grows.
 * ``ils-random`` -- the random-load extension (Section 7 outlook): lifetime
   distributions of the policies over seeded random ILs-like loads.
+* ``fleet`` / ``fleet-8`` -- the N>2 extension: 4- and 8-battery
+  mixed-B1-scale fleets (identical subgroups, so the optimal search's
+  group-wise symmetry pruning applies) under the richer workload
+  generators (MMPP bursty traffic, a duty-cycled sensor profile and a
+  trace-driven load), with the capped optimal column enabled.  The specs
+  are split by battery count because a sweep's scenarios share one battery
+  width.
 """
 
 from __future__ import annotations
@@ -95,7 +102,73 @@ def builtin_specs() -> Dict[str, SweepSpec]:
         policies=PAPER_POLICIES,
     )
 
+    # Fleet loads: heavy enough to exhaust the scaled-down fleets well
+    # before the load ends, JSON-plain kwargs so the spec hashes stay
+    # stable, and seeded generators so re-runs are cache hits.
+    fleet_loads = (
+        LoadAxis.generator(
+            "mmpp",
+            label="MMPP 500",
+            seed=11,
+            on_current=0.5,
+            mean_on=2.0,
+            mean_off=2.0,
+            total_duration=120.0,
+        ),
+        LoadAxis.generator(
+            "duty-cycled-sensor",
+            label="DCS 500",
+            sense_current=0.1,
+            transmit_current=0.5,
+            sense_duration=0.5,
+            transmit_duration=0.5,
+            period=2.0,
+            transmit_every=2,
+            cycles=80,
+        ),
+        LoadAxis.generator(
+            "trace",
+            label="Trace mix",
+            trace=[[0.5, 2.0], [0.0, 1.0], [0.25, 2.0], [0.5, 3.0], [0.0, 2.0]],
+            repeat=20,
+        ),
+    )
+    half = B1.scaled(0.5)
+    small = B1.scaled(0.375)
+    quarter = B1.scaled(0.25)
+    fleet = SweepSpec(
+        name="fleet",
+        description=(
+            "4-battery mixed-B1-scale fleets (2+2 and 3+1 identical "
+            "subgroups) under MMPP, duty-cycled-sensor and trace loads, "
+            "with the capped optimal column"
+        ),
+        batteries=(
+            BatteryConfig(label="fleet4 2+2", params=(half, half, small, small)),
+            BatteryConfig(label="fleet4 3+1", params=(half, half, half, quarter)),
+        ),
+        loads=fleet_loads,
+        policies=PAPER_POLICIES,
+    ).with_optimal(max_nodes=3000, dominance_tolerance=0.01)
+
+    fleet8 = SweepSpec(
+        name="fleet-8",
+        description=(
+            "8-battery mixed-B1-scale fleet (4+4 identical subgroups) "
+            "under MMPP, duty-cycled-sensor and trace loads, with the "
+            "capped optimal column"
+        ),
+        batteries=(
+            BatteryConfig(
+                label="fleet8 4+4",
+                params=(half, half, half, half, small, small, small, small),
+            ),
+        ),
+        loads=fleet_loads,
+        policies=PAPER_POLICIES,
+    ).with_optimal(max_nodes=3000, dominance_tolerance=0.01)
+
     return {
         spec.name: spec
-        for spec in (table5, table5_optimal, table6, ils_random)
+        for spec in (table5, table5_optimal, table6, ils_random, fleet, fleet8)
     }

@@ -10,6 +10,7 @@ benchmarks.
 from __future__ import annotations
 
 import dataclasses
+import math
 import random
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -98,12 +99,7 @@ def generate_random_load(
       thread one stream through a whole experiment.
     """
     cfg = config if config is not None else RandomLoadConfig()
-    if rng is None:
-        if seed is None:
-            raise ValueError("provide either a seed or an rng")
-        rng = random.Random(seed)
-    elif seed is not None:
-        raise ValueError("provide either a seed or an rng, not both")
+    rng = _resolve_rng(seed, rng)
     epochs: List[Epoch] = []
     elapsed = 0.0
     while elapsed < cfg.total_duration:
@@ -195,6 +191,186 @@ def sensor_node_load(
     return Load(name=name, epochs=tuple(epochs))
 
 
+def _resolve_rng(seed: Optional[int], rng):
+    """The seed-XOR-rng contract shared by every seedable generator here."""
+    if rng is None:
+        if seed is None:
+            raise ValueError("provide either a seed or an rng")
+        return random.Random(seed)
+    if seed is not None:
+        raise ValueError("provide either a seed or an rng, not both")
+    return rng
+
+
+def _exponential(rng, mean: float) -> float:
+    """Exponential draw built from one uniform, identical for both rng kinds.
+
+    ``random.Random.expovariate`` and numpy's ``exponential`` consume their
+    streams differently, so the draw is derived from a single uniform --
+    the same load comes out of ``seed=n`` whichever rng family produced it.
+    """
+    u = _uniform(rng, 0.0, 1.0)
+    return -mean * math.log1p(-u)
+
+
+def mmpp_load(
+    seed: Optional[int] = None,
+    on_current: float = 0.500,
+    off_current: float = 0.0,
+    mean_on: float = 2.0,
+    mean_off: float = 4.0,
+    total_duration: float = 120.0,
+    duration_step: float = 0.25,
+    rng=None,
+    name: Optional[str] = None,
+) -> Load:
+    """Markov-modulated on-off traffic: exponential bursts and gaps.
+
+    A two-state Markov-modulated process alternates between an *on* state
+    drawing ``on_current`` and an *off* state drawing ``off_current``
+    (zero for idle gaps, positive for low-rate background traffic), with
+    exponentially distributed sojourn times of the given means -- the
+    standard bursty-traffic model for network and sensor nodes.  All
+    durations are rounded to ``duration_step`` so discretized models
+    represent the load exactly; rounded-away off states are dropped.
+
+    Seedable exactly like :func:`generate_random_load`: pass ``seed`` for
+    the reproducible private stream or ``rng`` to thread an explicit
+    ``random.Random`` / numpy ``Generator`` through an experiment.
+    """
+    if on_current <= 0.0:
+        raise ValueError("on_current must be positive")
+    if off_current < 0.0:
+        raise ValueError("off_current must not be negative")
+    if mean_on <= 0.0 or mean_off <= 0.0:
+        raise ValueError("mean_on and mean_off must be positive")
+    if total_duration <= 0.0 or duration_step <= 0.0:
+        raise ValueError("total_duration and duration_step must be positive")
+    rng = _resolve_rng(seed, rng)
+    epochs: List[Epoch] = []
+    elapsed = 0.0
+    while elapsed < total_duration:
+        on_duration = _round_to_step(_exponential(rng, mean_on), duration_step)
+        epochs.append(job_epoch(on_current, on_duration, label="burst"))
+        elapsed += on_duration
+        off_duration = (
+            round(_exponential(rng, mean_off) / duration_step) * duration_step
+        )
+        if off_duration > 0.0:
+            if off_current > 0.0:
+                epochs.append(job_epoch(off_current, off_duration, label="background"))
+            else:
+                epochs.append(idle_epoch(off_duration))
+            elapsed += off_duration
+    if name is None:
+        name = f"mmpp(seed={seed})" if seed is not None else "mmpp(rng)"
+    return Load(name=name, epochs=tuple(epochs))
+
+
+def duty_cycled_sensor_load(
+    sense_current: float = 0.020,
+    transmit_current: float = 0.300,
+    sense_duration: float = 0.5,
+    transmit_duration: float = 0.25,
+    period: float = 5.0,
+    transmit_every: int = 4,
+    cycles: int = 100,
+    jitter: float = 0.0,
+    seed: Optional[int] = None,
+    rng=None,
+    duration_step: float = 0.25,
+    name: str = "duty-cycled-sensor",
+) -> Load:
+    """A duty-cycled sensor profile: sense every period, transmit every k-th.
+
+    Unlike :func:`sensor_node_load` (which radios every round), this models
+    the common duty-cycling firmware pattern: a low-current measurement in
+    every period and a high-current transmit burst only on every
+    ``transmit_every``-th round, with the rest of the period asleep.  With
+    ``jitter > 0`` (a fraction of the sleep span) the sleep of each round
+    is perturbed uniformly, seeded through the same seed-or-rng contract
+    as the random generators; ``jitter=0`` needs no randomness at all.
+    """
+    if cycles < 1 or transmit_every < 1:
+        raise ValueError("cycles and transmit_every must be at least 1")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError("jitter must lie in [0, 1)")
+    if duration_step <= 0.0:
+        raise ValueError("duration_step must be positive")
+    if jitter > 0.0:
+        rng = _resolve_rng(seed, rng)
+    elif seed is not None or rng is not None:
+        raise ValueError("seed/rng only apply with jitter > 0")
+    epochs: List[Epoch] = []
+    for cycle in range(cycles):
+        busy = sense_duration
+        epochs.append(job_epoch(sense_current, sense_duration, label="sense"))
+        if cycle % transmit_every == transmit_every - 1:
+            epochs.append(
+                job_epoch(transmit_current, transmit_duration, label="transmit")
+            )
+            busy += transmit_duration
+        sleep = period - busy
+        if sleep <= 0.0:
+            raise ValueError("period must exceed the sense+transmit time")
+        if jitter > 0.0:
+            sleep *= 1.0 + _uniform(rng, -jitter, jitter)
+            sleep = round(sleep / duration_step) * duration_step
+        if sleep > 0.0:
+            epochs.append(idle_epoch(sleep, label="sleep"))
+    return Load(name=name, epochs=tuple(epochs))
+
+
+def trace_load(
+    trace: Sequence[Sequence[float]],
+    repeat: int = 1,
+    time_scale: float = 1.0,
+    name: str = "trace",
+) -> Load:
+    """A trace-driven load from explicit ``[current, duration]`` pairs.
+
+    ``trace`` is JSON-plain -- a list of ``[current_ampere,
+    duration_minutes]`` pairs, zero current meaning idle -- so measured
+    device traces drop straight into declarative sweep specs and hash
+    stably.  Consecutive pairs with equal current are coalesced into one
+    epoch, ``repeat`` tiles the whole trace, and ``time_scale`` rescales
+    every duration (e.g. a seconds-based trace with ``time_scale=1/60``).
+    """
+    if not trace:
+        raise ValueError("trace must contain at least one [current, duration] pair")
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    if time_scale <= 0.0:
+        raise ValueError("time_scale must be positive")
+    segments: List[tuple] = []
+    for pair in trace:
+        if len(pair) != 2:
+            raise ValueError("each trace entry must be a [current, duration] pair")
+        current, duration = float(pair[0]), float(pair[1])
+        if current < 0.0:
+            raise ValueError("trace currents must not be negative")
+        duration *= time_scale
+        if duration <= 0.0:
+            raise ValueError("trace durations must be positive")
+        if segments and segments[-1][0] == current:
+            segments[-1] = (current, segments[-1][1] + duration)
+        else:
+            segments.append((current, duration))
+    tiled = list(segments) * repeat
+    # Coalesce across the repeat seam too (last segment == first segment).
+    merged: List[tuple] = []
+    for current, duration in tiled:
+        if merged and merged[-1][0] == current:
+            merged[-1] = (current, merged[-1][1] + duration)
+        else:
+            merged.append((current, duration))
+    epochs = tuple(
+        job_epoch(current, duration) if current > 0.0 else idle_epoch(duration)
+        for current, duration in merged
+    )
+    return Load(name=name, epochs=epochs)
+
+
 def _registry() -> Dict[str, Callable[..., Load]]:
     # The profile generators live in repro.workloads.profiles, which does
     # not import this module, so the late import only avoids a hard cycle
@@ -210,7 +386,10 @@ def _registry() -> Dict[str, Callable[..., Load]]:
     return {
         "bursty": bursty_load,
         "duty-cycle": duty_cycle_load,
+        "duty-cycled-sensor": duty_cycled_sensor_load,
+        "mmpp": mmpp_load,
         "sensor-node": sensor_node_load,
+        "trace": trace_load,
         "continuous": continuous_load,
         "continuous-alternating": continuous_alternating_load,
         "intermittent": intermittent_load,

@@ -125,6 +125,23 @@ class TestGateDecisions:
              "--baseline-dir", str(tmp_path / "base")]
         ) == 1
 
+    def test_fleet_symmetry_ratio_is_gated(self, check_bench, tmp_path):
+        """The group-symmetry node ratio is gated: if the reduction stops
+        pruning permuted duplicates (ratio collapses toward 1x from the
+        committed baseline), the gate must fail on that key alone."""
+        assert (
+            "BENCH_fleet.json",
+            "group_symmetry_nodes_ratio",
+        ) in check_bench.CHECKS
+        fresh = all_checks(check_bench, 20.0)
+        fresh[("BENCH_fleet.json", "group_symmetry_nodes_ratio")] = 1.0
+        write_records(tmp_path / "fresh", fresh)
+        write_records(tmp_path / "base", all_checks(check_bench, 20.0))
+        assert check_bench.main(
+            ["--fresh-dir", str(tmp_path / "fresh"),
+             "--baseline-dir", str(tmp_path / "base")]
+        ) == 1
+
     def test_missing_fresh_record_fails(self, check_bench, tmp_path):
         (tmp_path / "fresh").mkdir()
         write_records(tmp_path / "base", all_checks(check_bench, 20.0))

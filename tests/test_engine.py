@@ -203,10 +203,21 @@ class TestScalarBatchEquivalence:
         loads = [generate_random_load(200 + i, FAST_CONFIG) for i in range(8)]
         assert_equivalent([SMALL, SMALLER], loads, policy)
 
-    @pytest.mark.parametrize("n_batteries", [1, 2, 3])
+    @pytest.mark.parametrize("n_batteries", [1, 2, 3, 4, 8])
     def test_battery_counts(self, n_batteries):
         loads = [generate_random_load(300 + i, FAST_CONFIG) for i in range(6)]
         assert_equivalent([SMALL] * n_batteries, loads, "best-of-two")
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("n_batteries", [3, 4, 8])
+    def test_mixed_fleets_all_policies(self, policy, n_batteries):
+        """The fleet parity matrix: mixed identical-subgroup fleets at
+        N in {3, 4, 8} under every heuristic policy."""
+        fleet = [SMALL] * (n_batteries - n_batteries // 2) + [SMALLER] * (
+            n_batteries // 2
+        )
+        loads = [generate_random_load(350 + i, FAST_CONFIG) for i in range(4)]
+        assert_equivalent(fleet, loads, policy)
 
     def test_continuous_loads_force_switchovers(self):
         # Back-to-back jobs with no idle: batteries empty mid-job and the
@@ -586,6 +597,19 @@ class TestDiscreteBatch:
         loads = [generate_random_load(150 + i, FAST_CONFIG) for i in range(4)]
         self.assert_tick_exact(
             [SMALL, SMALL], loads, "best-of-two", time_step=0.05, charge_unit=0.05
+        )
+
+    @pytest.mark.parametrize("policy", ALL_POLICIES)
+    @pytest.mark.parametrize("n_batteries", [3, 4, 8])
+    def test_mixed_fleets_tick_for_tick(self, policy, n_batteries):
+        """The discrete half of the fleet parity matrix: exact integer
+        parity for mixed fleets at N in {3, 4, 8}, every policy."""
+        fleet = [SMALL] * (n_batteries - n_batteries // 2) + [SMALLER] * (
+            n_batteries // 2
+        )
+        loads = [generate_random_load(370 + i, FAST_CONFIG) for i in range(3)]
+        self.assert_tick_exact(
+            fleet, loads, policy, time_step=0.05, charge_unit=0.05
         )
 
     def test_per_scenario_parameter_rows(self):

@@ -29,6 +29,9 @@ from repro.core.optimal import (
     DominanceArchive,
     OptimalScheduler,
     find_optimal_schedule,
+    group_permutations,
+    model_symmetry_groups,
+    parameter_symmetry_groups,
 )
 from repro.core.policies import FixedAssignmentPolicy
 from repro.core.simulator import simulate_policy
@@ -57,6 +60,29 @@ COARSE = dict(time_step=0.05, charge_unit=0.05)
 #: search re-checks an (often improved) incumbent at every node.
 NODE_FACTOR = 3
 NODE_SLACK = 64
+
+#: Small-fleet building blocks: two distinct parameter groups sharing the
+#: B1 chemistry, sized so N-battery fleets die within a short heavy load
+#: and certified scalar searches stay fast at every fleet width.
+FLEET_A = BatteryParameters(capacity=0.5, c=0.166, k_prime=0.122)
+FLEET_B = BatteryParameters(capacity=0.35, c=0.166, k_prime=0.122)
+
+#: The fleet parity matrix: identical subgroups at every width, so the
+#: group-wise symmetry reduction is exercised (not just tolerated).
+FLEETS = {
+    3: (FLEET_A, FLEET_A, FLEET_B),
+    4: (FLEET_A, FLEET_A, FLEET_B, FLEET_B),
+    8: (FLEET_A,) * 4 + (FLEET_B,) * 4,
+}
+
+
+def fleet_load(n_epochs=12):
+    """A heavy job/idle alternation that exhausts every FLEETS fleet."""
+    epochs = []
+    for index in range(n_epochs):
+        epochs.append(Epoch(current=1.0 if index % 2 == 0 else 0.5, duration=1.0))
+        epochs.append(Epoch(current=0.0, duration=0.5))
+    return Load(name="fleet-alt", epochs=tuple(epochs))
 
 
 @pytest.fixture(scope="module")
@@ -174,6 +200,111 @@ class TestDiscreteParity:
             **COARSE,
         )
         assert replay.lifetime_or_raise() == batched.lifetime
+
+
+class TestGroupSymmetry:
+    """Group-wise symmetry reduction on fleets with identical subgroups.
+
+    The contract: permuted-duplicate schedules are pruned (node counts
+    drop) while the reported result stays *bitwise* unchanged -- permuting
+    identical batteries produces the same float trajectory, so the pruned
+    search's incumbent sequence is a subsequence of the unpruned one.
+    """
+
+    def fleet(self):
+        # Two identical batteries plus one distinct: neither the legacy
+        # all-identical fast path nor the no-symmetry path covers this.
+        return [FLEET_A, FLEET_A, FLEET_B]
+
+    def test_scalar_search_prunes_permutations_bitwise_unchanged(self):
+        load = fleet_load(8)
+        pruned = find_optimal_schedule(self.fleet(), load)
+        full = find_optimal_schedule(self.fleet(), load, use_symmetry=False)
+        assert pruned.complete and full.complete
+        assert pruned.lifetime == full.lifetime
+        assert pruned.residual_charge == pytest.approx(full.residual_charge)
+        assert pruned.nodes_expanded < full.nodes_expanded
+
+    def test_batched_search_prunes_permutations_bitwise_unchanged(self):
+        load = fleet_load(8)
+        pruned = find_optimal_schedule_batched(self.fleet(), load)
+        full = find_optimal_schedule_batched(self.fleet(), load, use_symmetry=False)
+        assert pruned.complete and full.complete
+        assert pruned.lifetime == full.lifetime
+        assert pruned.nodes_expanded < full.nodes_expanded
+
+    def test_pruned_fleet_result_replays(self):
+        load = fleet_load(8)
+        result = find_optimal_schedule_batched(self.fleet(), load)
+        replay = simulate_policy(
+            self.fleet(), load, FixedAssignmentPolicy(result.assignment)
+        )
+        assert replay.lifetime_or_raise() == pytest.approx(result.lifetime)
+
+    def test_symmetry_never_changes_an_all_distinct_fleet(self):
+        distinct = [
+            BatteryParameters(capacity=0.5, c=0.166, k_prime=0.122),
+            BatteryParameters(capacity=0.4, c=0.166, k_prime=0.122),
+            BatteryParameters(capacity=0.3, c=0.166, k_prime=0.122),
+        ]
+        load = fleet_load(8)
+        on = find_optimal_schedule_batched(distinct, load)
+        off = find_optimal_schedule_batched(distinct, load, use_symmetry=False)
+        assert on.lifetime == off.lifetime
+        assert on.nodes_expanded == off.nodes_expanded
+
+    def test_group_resolution_helpers(self):
+        assert parameter_symmetry_groups([FLEET_A, FLEET_A, FLEET_B]) == (0, 0, 1)
+        assert parameter_symmetry_groups([FLEET_A, FLEET_B, FLEET_A]) == (0, 1, 0)
+        models = make_battery_models([FLEET_A, FLEET_B, FLEET_A])
+        assert model_symmetry_groups(models) == (0, 1, 0)
+        # Mixed groups multiply out; oversized products fall back to the
+        # identity rather than enumerating thousands of permutations.
+        assert len(group_permutations((0, 0, 1))) == 2
+        assert len(group_permutations((0, 0, 1, 1))) == 4
+        assert group_permutations((0,) * 8) == [tuple(range(8))]
+
+
+class TestFleetParity:
+    """Satellite matrix: scalar/batched agreement at N in {3, 4, 8}."""
+
+    @pytest.mark.parametrize("n_batteries", sorted(FLEETS))
+    def test_analytical_fleet_parity(self, n_batteries):
+        fleet = list(FLEETS[n_batteries])
+        load = fleet_load()
+        scalar = find_optimal_schedule(fleet, load)
+        batched = find_optimal_schedule_batched(fleet, load)
+        assert batched.lifetime == pytest.approx(scalar.lifetime, abs=1e-9)
+        assert batched.complete == scalar.complete
+        assert batched.complete
+        assert (
+            batched.nodes_expanded
+            <= NODE_FACTOR * scalar.nodes_expanded + NODE_SLACK
+        )
+
+    @pytest.mark.parametrize("n_batteries", sorted(FLEETS))
+    def test_discrete_fleet_parity_in_exact_ticks(self, n_batteries):
+        fleet = list(FLEETS[n_batteries])
+        load = fleet_load(8)
+        scalar = find_optimal_schedule(fleet, load, backend="discrete", **COARSE)
+        batched = find_optimal_schedule_batched(
+            fleet, load, model="discrete", **COARSE
+        )
+        time_step = COARSE["time_step"]
+        assert round(batched.lifetime / time_step) == round(
+            scalar.lifetime / time_step
+        )
+        assert batched.complete == scalar.complete
+        assert batched.complete
+
+    @pytest.mark.parametrize("n_batteries", sorted(FLEETS))
+    def test_fleet_optimal_dominates_heuristics(self, n_batteries):
+        fleet = list(FLEETS[n_batteries])
+        load = fleet_load()
+        optimal = find_optimal_schedule_batched(fleet, load)
+        for policy in ("sequential", "round-robin", "best-of-two"):
+            heuristic = simulate_policy(fleet, load, policy).lifetime_or_raise()
+            assert optimal.lifetime >= heuristic - 1e-9, policy
 
 
 class TestDominanceAblation:
@@ -488,6 +619,36 @@ class TestVectorDominanceArchive:
             archive_limit=8,
         )
         matrices = self._random_matrices(rng, 300)
+        keys = rng.integers(0, 4, size=300)
+        for key, matrix in zip(keys, matrices):
+            expected = scalar.admit(
+                (int(key),), tuple(tuple(row) for row in matrix)
+            )
+            got = vector.admit((int(key),), matrix)
+            assert got == expected
+
+    @pytest.mark.parametrize(
+        "groups", [(0, 0, 0), (0, 0, 1), (0, 1, 1), (0, 1, 0), (0, 1, 2)]
+    )
+    @pytest.mark.parametrize("tolerance", [0.0, 0.25])
+    def test_group_decisions_match_the_scalar_archive(self, groups, tolerance):
+        """Pinned decision-for-decision at every group structure a 3-battery
+        fleet can have, not just all-identical vs all-distinct."""
+        rng = np.random.default_rng(17)
+        scalar = DominanceArchive(
+            symmetric=False,
+            dominance_tolerance=tolerance,
+            archive_limit=8,
+            groups=groups,
+        )
+        vector = VectorDominanceArchive(
+            symmetric=False,
+            n_batteries=3,
+            dominance_tolerance=tolerance,
+            archive_limit=8,
+            groups=groups,
+        )
+        matrices = self._random_matrices(rng, 300, n_batteries=3)
         keys = rng.integers(0, 4, size=300)
         for key, matrix in zip(keys, matrices):
             expected = scalar.admit(

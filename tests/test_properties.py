@@ -407,7 +407,14 @@ class TestRecoveryLimitedBoundProperties:
         states = tuple(model.initial_state() for model in scheduler.models)
         assert scheduler._recovery_limited_bound(states, 0, 0.0) is None
         root_bound = scheduler._remaining_lifetime_bound(states, 0, 0.0)
-        assert root_bound >= result.lifetime - 0.5
+        # The allowance has an absolute granularity term on top of the tick
+        # slack: the dKiBaM empties on a quantized threshold, so each
+        # battery can overdeliver up to about one charge unit, worth
+        # charge_unit / current minutes at the gentlest drain (0.4 min per
+        # battery on this 0.1 grid at 0.25 A) -- which dwarfs the relative
+        # slack when small batteries die early.
+        unit_time = coarse["charge_unit"] / 0.25
+        assert root_bound >= result.lifetime - (0.5 + len(pair) * unit_time)
 
     @given(load=short_loads())
     @settings(max_examples=20, deadline=None)
@@ -421,3 +428,111 @@ class TestRecoveryLimitedBoundProperties:
             return
         for segments in result.schedule.per_battery_segments(horizon=result.lifetime):
             assert sum(duration for _, duration in segments) == pytest.approx(result.lifetime)
+
+
+#: Random fleet capacities: 2-6 batteries, each between a third and a full
+#: unit, so short heavy loads exhaust the whole fleet quickly.
+fleet_capacities = st.lists(
+    st.floats(min_value=0.3, max_value=1.0), min_size=2, max_size=6
+)
+
+
+class TestFleetProperties:
+    """Random 2-6-battery fleets: bracketing, bound hierarchy, generators.
+
+    The N>2 generalization of the pair properties above.  Fleets share
+    ``c``/``k'`` (so the pooling family of bounds applies) but draw each
+    capacity independently, which covers homogeneous, grouped and fully
+    heterogeneous fleets -- and thereby every code path of the group-wise
+    symmetry reduction.
+    """
+
+    @given(
+        load=short_loads(),
+        caps=fleet_capacities,
+        c=st.floats(min_value=0.1, max_value=0.4),
+        k_prime=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_fleet_optimal_is_bracketed_by_heuristics_and_pooling(
+        self, load, caps, c, k_prime
+    ):
+        """Fleet-optimal >= every heuristic policy, <= the pooling bound."""
+        if load.job_count == 0:
+            return
+        fleet = [
+            BatteryParameters(capacity=cap, c=c, k_prime=k_prime) for cap in caps
+        ]
+        long_load = load.repeated(12)
+        heuristics = {}
+        for policy in ("sequential", "round-robin", "best-of-two"):
+            result = simulate_policy(fleet, long_load, policy)
+            if result.survived:
+                return
+            heuristics[policy] = result.lifetime
+        optimal = find_optimal_schedule_batched(
+            fleet, long_load, dominance_tolerance=0.01, max_nodes=1500
+        )
+        for policy, lifetime in heuristics.items():
+            assert optimal.lifetime >= lifetime - 1e-6, policy
+        pooled = lifetime_under_segments(
+            BatteryParameters(capacity=sum(caps), c=c, k_prime=k_prime),
+            long_load.segments(),
+        )
+        assert pooled is None or optimal.lifetime <= pooled + 1e-6
+
+    @given(
+        load=short_loads(),
+        caps=fleet_capacities,
+        c=st.floats(min_value=0.1, max_value=0.4),
+        k_prime=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_fleet_root_bound_hierarchy(self, load, caps, c, k_prime):
+        """total-charge >= pooling >= recovery-limited >= found schedule.
+
+        The root-bound hierarchy of the search, asserted on random fleets:
+        the ideal-battery total-charge bound dominates the KiBaM pooling
+        bound, which dominates its recovery-limited refinement (when it
+        applies), and every bound covers any schedule the capped search
+        finds (a lower bound on the true optimum).
+        """
+        from repro.core.battery import make_battery_models
+        from repro.core.optimal import OptimalScheduler
+
+        if load.job_count == 0:
+            return
+        fleet = [
+            BatteryParameters(capacity=cap, c=c, k_prime=k_prime) for cap in caps
+        ]
+        long_load = load.repeated(12)
+        best = simulate_policy(fleet, long_load, "best-of-two")
+        if best.survived:
+            return
+        scheduler = OptimalScheduler(make_battery_models(fleet), long_load)
+        states = tuple(model.initial_state() for model in scheduler.models)
+        total = scheduler._total_charge_bound(states, 0, 0.0)
+        pooled = scheduler._pooled_bound(states, 0, 0.0)
+        refined = scheduler._recovery_limited_bound(states, 0, 0.0)
+        assert pooled <= total + 1e-9
+        if refined is not None:
+            assert refined <= pooled + 1e-9
+        tightest = pooled if refined is None else min(pooled, refined)
+        found = find_optimal_schedule_batched(
+            fleet, long_load, dominance_tolerance=0.01, max_nodes=1500
+        )
+        assert found.lifetime <= tightest + 1e-6
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_fleet_generators_are_seed_deterministic(self, seed):
+        """The sweep-facing generators rebuild bit-identical loads from
+        their seeds -- the property behind stable sweep content hashes."""
+        from repro.workloads.generator import duty_cycled_sensor_load, mmpp_load
+
+        first = mmpp_load(seed=seed, total_duration=40.0)
+        second = mmpp_load(seed=seed, total_duration=40.0)
+        assert first.segments() == second.segments()
+        jittered = duty_cycled_sensor_load(jitter=0.3, seed=seed, cycles=12)
+        again = duty_cycled_sensor_load(jitter=0.3, seed=seed, cycles=12)
+        assert jittered.segments() == again.segments()

@@ -3,11 +3,16 @@
 import pytest
 
 from repro.workloads.generator import (
+    LOAD_GENERATOR_REGISTRY,
     RandomLoadConfig,
     bursty_load,
     duty_cycle_load,
+    duty_cycled_sensor_load,
     generate_random_load,
+    make_load,
+    mmpp_load,
     sensor_node_load,
+    trace_load,
 )
 from repro.workloads.load import Epoch, Load, idle_epoch, job_epoch
 from repro.workloads.profiles import (
@@ -174,3 +179,144 @@ class TestGenerators:
             bursty_load(0.5, burst_jobs=0, rest_duration=1.0, cycles=1)
         with pytest.raises(ValueError):
             sensor_node_load(cycles=0)
+
+
+class TestMmppGenerator:
+    def test_structure_and_step_rounding(self):
+        load = mmpp_load(seed=3, on_current=0.5, total_duration=60.0)
+        assert load.total_duration >= 60.0
+        for epoch in load.epochs:
+            assert epoch.current in (0.0, 0.5)
+            assert (epoch.duration / 0.25) == pytest.approx(
+                round(epoch.duration / 0.25)
+            )
+        assert any(epoch.label == "burst" for epoch in load.epochs)
+
+    def test_seed_determinism(self):
+        assert mmpp_load(seed=9).segments() == mmpp_load(seed=9).segments()
+        assert mmpp_load(seed=9).segments() != mmpp_load(seed=10).segments()
+
+    def test_rng_families_agree_on_the_same_uniform_stream(self):
+        # The exponential draws are built from single uniforms, so a stdlib
+        # Random and a numpy Generator producing the same uniforms would
+        # produce the same load; here we check each family reproduces
+        # itself exactly.
+        import random
+
+        import numpy as np
+
+        stdlib = mmpp_load(rng=random.Random(5))
+        assert stdlib.segments() == mmpp_load(rng=random.Random(5)).segments()
+        numpy_rng = mmpp_load(rng=np.random.default_rng(5))
+        assert (
+            numpy_rng.segments()
+            == mmpp_load(rng=np.random.default_rng(5)).segments()
+        )
+
+    def test_background_traffic_keeps_off_state_as_jobs(self):
+        load = mmpp_load(seed=4, off_current=0.05, total_duration=40.0)
+        labels = {epoch.label for epoch in load.epochs if epoch.is_job}
+        assert "background" in labels
+        assert all(epoch.is_job for epoch in load.epochs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mmpp_load(seed=1, on_current=0.0)
+        with pytest.raises(ValueError):
+            mmpp_load(seed=1, mean_on=0.0)
+        with pytest.raises(ValueError):
+            mmpp_load(seed=1, total_duration=-1.0)
+        with pytest.raises(ValueError):
+            mmpp_load()  # neither seed nor rng
+        with pytest.raises(ValueError):
+            import random
+
+            mmpp_load(seed=1, rng=random.Random(1))
+
+
+class TestDutyCycledSensorGenerator:
+    def test_transmit_every_kth_cycle(self):
+        load = duty_cycled_sensor_load(transmit_every=4, cycles=8)
+        transmits = [epoch for epoch in load.epochs if epoch.label == "transmit"]
+        senses = [epoch for epoch in load.epochs if epoch.label == "sense"]
+        assert len(senses) == 8
+        assert len(transmits) == 2
+        assert {epoch.label for epoch in load.epochs} == {
+            "sense", "transmit", "sleep",
+        }
+
+    def test_unjittered_profile_is_deterministic_without_randomness(self):
+        first = duty_cycled_sensor_load(cycles=6)
+        second = duty_cycled_sensor_load(cycles=6)
+        assert first.segments() == second.segments()
+
+    def test_jitter_is_seed_deterministic_and_perturbs_sleep(self):
+        jittered = duty_cycled_sensor_load(jitter=0.4, seed=2, cycles=20)
+        again = duty_cycled_sensor_load(jitter=0.4, seed=2, cycles=20)
+        plain = duty_cycled_sensor_load(cycles=20)
+        assert jittered.segments() == again.segments()
+        assert jittered.segments() != plain.segments()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duty_cycled_sensor_load(period=0.5)  # sense+transmit won't fit
+        with pytest.raises(ValueError):
+            duty_cycled_sensor_load(seed=1)  # seed without jitter
+        with pytest.raises(ValueError):
+            duty_cycled_sensor_load(jitter=0.5)  # jitter without seed/rng
+        with pytest.raises(ValueError):
+            duty_cycled_sensor_load(jitter=1.5, seed=1)
+        with pytest.raises(ValueError):
+            duty_cycled_sensor_load(cycles=0)
+
+
+class TestTraceGenerator:
+    def test_coalesces_equal_currents_and_maps_zero_to_idle(self):
+        load = trace_load([[0.5, 1.0], [0.5, 2.0], [0.0, 1.0], [0.25, 3.0]])
+        assert load.segments() == [(0.5, 3.0), (0.0, 1.0), (0.25, 3.0)]
+        assert load.epochs[1].is_idle
+
+    def test_repeat_coalesces_across_the_seam(self):
+        load = trace_load([[0.5, 1.0], [0.0, 1.0], [0.5, 2.0]], repeat=2)
+        # The trailing 0.5 of repeat 1 merges with the leading 0.5 of
+        # repeat 2.
+        assert load.segments() == [
+            (0.5, 1.0), (0.0, 1.0), (0.5, 3.0), (0.0, 1.0), (0.5, 2.0),
+        ]
+
+    def test_time_scale_rescales_durations(self):
+        seconds = trace_load([[0.5, 60.0], [0.0, 30.0]], time_scale=1.0 / 60.0)
+        assert seconds.total_duration == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            trace_load([])
+        with pytest.raises(ValueError):
+            trace_load([[0.5]])
+        with pytest.raises(ValueError):
+            trace_load([[-0.1, 1.0]])
+        with pytest.raises(ValueError):
+            trace_load([[0.5, 0.0]])
+        with pytest.raises(ValueError):
+            trace_load([[0.5, 1.0]], repeat=0)
+        with pytest.raises(ValueError):
+            trace_load([[0.5, 1.0]], time_scale=0.0)
+
+
+class TestGeneratorRegistry:
+    def test_new_generators_are_registered(self):
+        for name in ("mmpp", "duty-cycled-sensor", "trace"):
+            assert name in LOAD_GENERATOR_REGISTRY
+
+    def test_make_load_round_trips_the_registry(self):
+        assert (
+            make_load("mmpp", seed=3).segments() == mmpp_load(seed=3).segments()
+        )
+        assert (
+            make_load("trace", trace=[[0.5, 1.0]]).segments()
+            == trace_load([[0.5, 1.0]]).segments()
+        )
+
+    def test_unknown_generator_lists_known_names(self):
+        with pytest.raises(ValueError, match="mmpp"):
+            make_load("warp-core")
